@@ -1,0 +1,26 @@
+// E3 — Reproduces Table 3: "Mutations on C code" (original Linux-style IDE
+// driver, hardware operating code tagged, 25% seeded mutant sample, each
+// survivor booted against the simulated IDE disk).
+#include <cstdio>
+#include <cstring>
+
+#include "corpus/drivers.h"
+#include "eval/driver_campaign.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_ide_driver();
+  cfg.unit_name = "ide_c.c";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) cfg.sample_percent = 100;
+  }
+  auto res = eval::run_ide_campaign(cfg);
+  std::printf("%s",
+              eval::render_driver_table("Table 3: Mutations on C code", res)
+                  .c_str());
+  std::printf(
+      "\nPaper reference (516 sampled mutants): compile 26.7 %%, crash 2.9 %%,"
+      "\ninfinite loop 11.2 %%, halt 21.5 %%, damaged 2.9 %%, boot 34.7 %%.\n");
+  return 0;
+}

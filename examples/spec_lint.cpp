@@ -1,0 +1,74 @@
+// spec_lint: a command-line Devil specification checker.
+//
+//   spec_lint file.dil        check a specification file
+//   spec_lint --builtin NAME  check a bundled spec (busmouse, ide, pci,
+//                             ne2000, permedia2)
+//   spec_lint --stubs file    also print the generated debug stubs
+//   (no arguments)            read a specification from stdin
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "corpus/specs.h"
+#include "devil/compiler.h"
+
+namespace {
+
+const std::string* builtin(const std::string& name) {
+  if (name == "busmouse") return &corpus::busmouse_spec();
+  if (name == "ide") return &corpus::ide_spec();
+  if (name == "pci") return &corpus::pci_busmaster_spec();
+  if (name == "ne2000") return &corpus::ne2000_spec();
+  if (name == "permedia2") return &corpus::permedia2_spec();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text, name = "<stdin>";
+  bool want_stubs = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stubs") == 0) {
+      want_stubs = true;
+    } else if (std::strcmp(argv[i], "--builtin") == 0 && i + 1 < argc) {
+      const std::string* spec = builtin(argv[++i]);
+      if (!spec) {
+        std::fprintf(stderr, "unknown builtin spec '%s'\n", argv[i]);
+        return 2;
+      }
+      text = *spec;
+      name = std::string(argv[i]) + ".dil";
+    } else {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+      name = argv[i];
+    }
+  }
+  if (text.empty()) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+
+  auto result = want_stubs
+                    ? devil::compile_spec(name, text, devil::CodegenMode::kDebug)
+                    : devil::check_spec(name, text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: specification rejected\n%s", name.c_str(),
+                 result.diags.render().c_str());
+    return 1;
+  }
+  std::printf("%s: consistent\n%s", name.c_str(),
+              devil::describe_device(*result.info).c_str());
+  if (want_stubs) std::printf("\n%s", result.stubs.c_str());
+  return 0;
+}

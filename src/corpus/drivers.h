@@ -1,0 +1,31 @@
+// MiniC driver sources for the mutation campaigns and examples.
+//
+// Two IDE drivers implement the same boot protocol (probe, IDENTIFY, read
+// the partition table, read the filesystem superblock):
+//  - `c_ide_driver()`: classic Linux style — macros and raw inb/outb; the
+//    hardware operating code is tagged with /* MUT_BEGIN */ .. /* MUT_END */
+//    exactly as the paper tags the regions it mutates (§3.3);
+//  - `cdevil_ide_driver()`: the CDevil glue that calls generated stubs; it
+//    must be concatenated after the stubs produced from `corpus::ide_spec()`.
+//
+// Entry contract (shared with eval::BootHarness): `int ide_boot()` panics on
+// a detected failure ("kernel halts and prints a panic message"), and
+// otherwise returns a positive fingerprint computed from what it read; a
+// wrong fingerprint with a completed boot is the paper's "damaged boot".
+#pragma once
+
+#include <string>
+
+namespace corpus {
+
+[[nodiscard]] const std::string& c_ide_driver();
+[[nodiscard]] const std::string& cdevil_ide_driver();
+
+[[nodiscard]] const std::string& c_busmouse_driver();
+[[nodiscard]] const std::string& cdevil_busmouse_driver();
+
+/// Entry-point names.
+inline constexpr const char* kIdeEntry = "ide_boot";
+inline constexpr const char* kMouseEntry = "mouse_boot";
+
+}  // namespace corpus

@@ -1,0 +1,127 @@
+#include "corpus/smoke_drivers.h"
+
+namespace corpus {
+
+const std::string& cdevil_ne2000_driver() {
+  static const std::string src = R"(
+/* CDevil smoke driver for the NE2000 specification. */
+
+int nic_boot() {
+  int isr;
+  int addr0;
+  devil_init(0x300, 0x310, 0x31f);
+
+  /* Pulse the reset port and wait for ISR.RST (bit 7). */
+  dil_val(get_reset_byte());
+  isr = dil_val(get_int_status());
+  if ((isr & 0x80) == 0) {
+    panic("ne2000: reset did not complete");
+  }
+
+  /* Page 0 receive/transmit configuration. */
+  set_page_start(mk_page_start(0x40));
+  set_page_stop(mk_page_stop(0x80));
+  set_boundary(mk_boundary(0x40));
+  set_rx_config(mk_rx_config(0x04));
+  set_tx_config(mk_tx_config(0x00));
+  set_data_config(mk_data_config(0x09));
+  set_int_mask(mk_int_mask(0x3f));
+
+  /* Station address lives in page 1; the pre-actions switch pages. */
+  set_staddr0(mk_staddr0(0x52));
+  set_staddr1(mk_staddr1(0x54));
+  set_staddr2(mk_staddr2(0x00));
+  set_current_page(mk_current_page(0x40));
+
+  /* Start the NIC and verify ISR.RST cleared. */
+  set_run_state(NIC_START);
+  isr = dil_val(get_int_status());
+  if (isr & 0x80) {
+    panic("ne2000: NIC did not start");
+  }
+
+  addr0 = dil_val(get_staddr0());
+  if (addr0 != 0x52) {
+    panic("ne2000: station address readback mismatch");
+  }
+  return (dil_val(get_boundary()) << 8) + addr0 + 1000;
+}
+)";
+  return src;
+}
+
+const std::string& cdevil_pci_driver() {
+  static const std::string src = R"(
+/* CDevil smoke driver for the PIIX bus-master specification. */
+
+int bm_boot() {
+  int prd;
+  devil_init(0xc000, 0xc002, 0xc004);
+
+  /* The PRD table pointer keeps only its dword-aligned bits. */
+  set_prd_table(mk_prd_table(0x123456));
+  prd = dil_val(get_prd_table());
+  if (prd != 0x123456) {
+    panic("piix-bm: PRD pointer readback mismatch");
+  }
+
+  /* Start a device-to-memory transfer and check the engine went active. */
+  set_bm_dir(BM_FROM_DEVICE);
+  set_bm_start(BM_START);
+  if (dil_eq(get_bm_active(), BM_IDLE)) {
+    panic("piix-bm: engine did not start");
+  }
+
+  /* Stop it again. */
+  set_bm_start(BM_STOP);
+  if (dil_eq(get_bm_active(), BM_ACTIVE)) {
+    panic("piix-bm: engine did not stop");
+  }
+  if (dil_eq(get_bm_error(), BM_ERROR)) {
+    panic("piix-bm: error bit set after clean transfer");
+  }
+  return prd + 2000;
+}
+)";
+  return src;
+}
+
+const std::string& cdevil_permedia_driver() {
+  static const std::string src = R"(
+/* CDevil smoke driver for the Permedia 2 specification. */
+
+int gfx_boot() {
+  int slots;
+  devil_init(0xd000);
+
+  if (dil_eq(get_reset_state(), RESET_BUSY)) {
+    panic("permedia2: stuck in reset");
+  }
+
+  /* Program a display mode. */
+  set_fb_offset(mk_fb_offset(0x100000));
+  set_stride_words(mk_stride_words(640));
+  set_htotal_pixels(mk_htotal_pixels(800));
+  set_vtotal_lines(mk_vtotal_lines(525));
+  set_hsync_pixels(mk_hsync_pixels(96));
+  set_vsync_lines(mk_vsync_lines(2));
+  set_write_enable(FB_WRITE_ON);
+
+  /* The FIFO must report space for further commands. */
+  slots = dil_val(get_free_slots());
+  if (slots <= 0) {
+    panic("permedia2: command FIFO never drains");
+  }
+
+  /* Sync handshake: write a tag, read it back. */
+  set_sync_value(mk_sync_value(0xd1e5e1));
+  if (dil_val(get_sync_value()) != 0xd1e5e1) {
+    panic("permedia2: sync tag mismatch");
+  }
+  return slots + dil_val(get_stride_words()) + 3000;
+}
+)";
+  return src;
+}
+
+}  // namespace corpus

@@ -1,0 +1,27 @@
+// CDevil smoke drivers for the non-IDE specifications.
+//
+// The paper's driver campaign is IDE-only, but each of the five Table 2
+// specifications should be usable end to end: these drivers exercise the
+// generated stubs against the shallow device models (probe-style init and a
+// readback), completing the spec -> stubs -> driver -> device loop for
+// every row of Table 2.
+#pragma once
+
+#include <string>
+
+namespace corpus {
+
+/// NE2000: reset the NIC, program page-0 config, write the station address
+/// via page 1, start it, and fingerprint the readback.
+/// Entry: `int nic_boot()` (positive fingerprint, panics on failure).
+[[nodiscard]] const std::string& cdevil_ne2000_driver();
+
+/// PIIX bus master: program the PRD pointer, start/stop a transfer, check
+/// the status bits. Entry: `int bm_boot()`.
+[[nodiscard]] const std::string& cdevil_pci_driver();
+
+/// Permedia 2: reset the chip, program a mode, wait for FIFO space, verify
+/// via a sync tag. Entry: `int gfx_boot()`.
+[[nodiscard]] const std::string& cdevil_permedia_driver();
+
+}  // namespace corpus

@@ -1,0 +1,345 @@
+#include "corpus/specs.h"
+
+namespace corpus {
+
+// ---------------------------------------------------------------------------
+// Logitech busmouse — the paper's Fig. 3, verbatim.
+// ---------------------------------------------------------------------------
+const std::string& busmouse_spec() {
+  static const std::string spec = R"(
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+  // Signature register (SR)
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+
+  // Configuration register (CR)
+  register cr = write base @ 3, mask '1001000.' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+
+  // Interrupt register
+  register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+
+  // Index register
+  register index_reg = write base @ 2, mask '1..00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+
+  register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+
+  variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+  variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+  variable buttons = y_high[7..5], volatile : int(3);
+}
+)";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// IDE disk controller (Intel PIIX4 primary channel task file).
+//
+// Two port parameters: the 16-bit data port and the 8-bit command-block
+// ports. Status bits are exposed as tiny read-only enumerations so that
+// CDevil code compares them with `dil_eq` against named constants — the
+// style that gives Devil its run-time detection (paper §2.3).
+// ---------------------------------------------------------------------------
+const std::string& ide_spec() {
+  static const std::string spec = R"(
+device ide_piix4 (data : bit[16] port @ {0..0},
+                  base : bit[8] port @ {1..7})
+{
+  // --- Data register (16-bit PIO window) ---
+  register data_reg = data @ 0 : bit[16];
+  variable Data = data_reg, volatile : int(16);
+
+  // --- Error register (read) / Features register (write), base + 1 ---
+  register error_reg = read base @ 1 : bit[8];
+  variable ErrAmnf  = error_reg[0], volatile : { AMNF_SET  <= '1', AMNF_CLR  <= '0' };
+  variable ErrTk0nf = error_reg[1], volatile : { TK0NF_SET <= '1', TK0NF_CLR <= '0' };
+  variable ErrAbort = error_reg[2], volatile : { CMD_ABORTED <= '1', CMD_ACCEPTED <= '0' };
+  variable ErrMcr   = error_reg[3], volatile : { MCR_SET  <= '1', MCR_CLR  <= '0' };
+  variable ErrIdnf  = error_reg[4], volatile : { ID_NOT_FOUND <= '1', ID_FOUND <= '0' };
+  variable ErrMc    = error_reg[5], volatile : { MC_SET   <= '1', MC_CLR   <= '0' };
+  variable ErrUnc   = error_reg[6], volatile : { UNC_SET  <= '1', UNC_CLR  <= '0' };
+  variable ErrBbk   = error_reg[7], volatile : { BBK_SET  <= '1', BBK_CLR  <= '0' };
+
+  register features_reg = write base @ 1 : bit[8];
+  variable Features = features_reg : int(8);
+
+  // --- Sector count and LBA address ---
+  register nsect_reg = base @ 2 : bit[8];
+  variable SectorCount = nsect_reg : int(8);
+
+  register lbal_reg = base @ 3 : bit[8];
+  register lbam_reg = base @ 4 : bit[8];
+  register lbah_reg = base @ 5 : bit[8];
+
+  // --- Drive/head select, base + 6; bits 7 and 5 are wired to 1 ---
+  register select_reg = base @ 6, mask '1.1.....' : bit[8];
+  variable Drive = select_reg[4] : { SLAVE <=> '1', MASTER <=> '0' };
+  variable LbaMode = select_reg[6] : { LBA_ADDRESSING <=> '1', CHS_ADDRESSING <=> '0' };
+
+  // The 28-bit logical block address spans four registers; Devil's register
+  // concatenation absorbs the error-prone shift/mask arithmetic that the
+  // C driver performs by hand (paper 2.1, "Register concatenation").
+  variable Lba = select_reg[3..0] # lbah_reg # lbam_reg # lbal_reg : int(28);
+
+  // --- Status register (read), base + 7 ---
+  register status_reg = read base @ 7 : bit[8];
+  variable Err   = status_reg[0], volatile : { STAT_ERR   <= '1', STAT_OK    <= '0' };
+  variable Index = status_reg[1], volatile : { IDX_SET    <= '1', IDX_CLR    <= '0' };
+  variable Corr  = status_reg[2], volatile : { CORR_SET   <= '1', CORR_CLR   <= '0' };
+  variable Drq   = status_reg[3], volatile : { DATA_REQ   <= '1', DATA_IDLE  <= '0' };
+  variable Seek  = status_reg[4], volatile : { SEEK_DONE  <= '1', SEEK_WAIT  <= '0' };
+  variable Werr  = status_reg[5], volatile : { WERR_SET   <= '1', WERR_CLR   <= '0' };
+  variable Ready = status_reg[6], volatile : { DRIVE_READY <= '1', DRIVE_NOTREADY <= '0' };
+  variable Busy  = status_reg[7], volatile : { BUSY <= '1', IDLE <= '0' };
+
+  // --- Command register (write), base + 7 ---
+  register command_reg = write base @ 7 : bit[8];
+  variable Command = command_reg, write trigger : {
+    WIN_RESTORE  => '00010000',
+    WIN_READ     => '00100000',
+    WIN_WRITE    => '00110000',
+    WIN_SPECIFY  => '10010001',
+    WIN_IDENTIFY => '11101100'
+  };
+}
+)";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Intel 82371FB (PIIX) IDE bus-master function, primary channel.
+// ---------------------------------------------------------------------------
+const std::string& pci_busmaster_spec() {
+  static const std::string spec = R"(
+device piix_busmaster (cmd : bit[8] port @ {0..0},
+                       status : bit[8] port @ {0..0},
+                       prd : bit[32] port @ {0..0})
+{
+  // Bus master IDE command register: bit 0 start/stop, bit 3 direction.
+  register bmi_cmd = cmd @ 0, mask '****.**.' : bit[8];
+  variable bm_start = bmi_cmd[0] : { BM_START => '1', BM_STOP => '0' };
+  variable bm_dir = bmi_cmd[3] : { BM_FROM_DEVICE => '1', BM_TO_DEVICE => '0' };
+
+  // Bus master IDE status register.
+  register bmi_status = read status @ 0, mask '*..**...' : bit[8];
+  variable bm_active = bmi_status[0], volatile : { BM_ACTIVE <= '1', BM_IDLE <= '0' };
+  variable bm_error  = bmi_status[1], volatile : { BM_ERROR <= '1', BM_OK <= '0' };
+  variable bm_irq    = bmi_status[2], volatile : { BM_IRQ <= '1', BM_NO_IRQ <= '0' };
+  variable drv0_dma  = bmi_status[5], volatile : { DRV0_DMA <= '1', DRV0_PIO <= '0' };
+  variable drv1_dma  = bmi_status[6], volatile : { DRV1_DMA <= '1', DRV1_PIO <= '0' };
+
+  // Physical region descriptor table pointer (dword aligned).
+  register prd_ptr = prd @ 0, mask '..............................00' : bit[32];
+  variable prd_table = prd_ptr[31..2] : int(30);
+}
+)";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// NE2000 (DP8390) Ethernet controller. The page-switched register file is
+// captured with pre-actions on the private page-select variable, the same
+// idiom as the busmouse index register.
+// ---------------------------------------------------------------------------
+const std::string& ne2000_spec() {
+  static const std::string spec = R"(
+device ne2000 (base : bit[8] port @ {0..15},
+               data : bit[16] port @ {0..0},
+               rst : bit[8] port @ {0..0})
+{
+  // --- Command register: page select, remote op, transmit, start/stop ---
+  register cr = base @ 0 : bit[8];
+  private variable page = cr[7..6] : int(2);
+  variable remote_op = cr[5..3] : int(3);
+  variable txp = cr[2], volatile : bool;
+  variable run_state = cr[1..0] : {
+    NIC_HALT  <=> '00',
+    NIC_STOP  <=> '01',
+    NIC_START <=> '10',
+    NIC_BUSY  <=> '11'
+  };
+
+  // --- Page 0: receive/transmit configuration ---
+  register pstart = write base @ 1, pre {page = 0} : bit[8];
+  variable page_start = pstart : int(8);
+
+  register pstop = write base @ 2, pre {page = 0} : bit[8];
+  variable page_stop = pstop : int(8);
+
+  register bnry = base @ 3, pre {page = 0} : bit[8];
+  variable boundary = bnry : int(8);
+
+  register tpsr = write base @ 4, pre {page = 0} : bit[8];
+  variable tx_page_start = tpsr : int(8);
+
+  register tbcr0 = write base @ 5, pre {page = 0} : bit[8];
+  variable tx_count_lo = tbcr0 : int(8);
+
+  register tbcr1 = write base @ 6, pre {page = 0} : bit[8];
+  variable tx_count_hi = tbcr1 : int(8);
+
+  register isr = base @ 7, pre {page = 0} : bit[8];
+  variable int_status = isr, volatile : int(8);
+
+  register rsar0 = write base @ 8, pre {page = 0} : bit[8];
+  variable remote_addr_lo = rsar0 : int(8);
+
+  register rsar1 = write base @ 9, pre {page = 0} : bit[8];
+  variable remote_addr_hi = rsar1 : int(8);
+
+  register rbcr0 = write base @ 10, pre {page = 0} : bit[8];
+  variable remote_count_lo = rbcr0 : int(8);
+
+  register rbcr1 = write base @ 11, pre {page = 0} : bit[8];
+  variable remote_count_hi = rbcr1 : int(8);
+
+  register rcr = write base @ 12, pre {page = 0}, mask '**......' : bit[8];
+  variable rx_config = rcr[5..0] : int(6);
+
+  register tcr = write base @ 13, pre {page = 0}, mask '***.....' : bit[8];
+  variable tx_config = tcr[4..0] : int(5);
+
+  register dcr = write base @ 14, pre {page = 0}, mask '**......' : bit[8];
+  variable data_config = dcr[5..0] : int(6);
+
+  register imr = write base @ 15, pre {page = 0}, mask '*.......' : bit[8];
+  variable int_mask = imr[6..0] : int(7);
+
+  // --- Page 1: station address, current page, multicast filter ---
+  register par0 = base @ 1, pre {page = 1} : bit[8];
+  variable staddr0 = par0 : int(8);
+  register par1 = base @ 2, pre {page = 1} : bit[8];
+  variable staddr1 = par1 : int(8);
+  register par2 = base @ 3, pre {page = 1} : bit[8];
+  variable staddr2 = par2 : int(8);
+  register par3 = base @ 4, pre {page = 1} : bit[8];
+  variable staddr3 = par3 : int(8);
+  register par4 = base @ 5, pre {page = 1} : bit[8];
+  variable staddr4 = par4 : int(8);
+  register par5 = base @ 6, pre {page = 1} : bit[8];
+  variable staddr5 = par5 : int(8);
+
+  register curr = base @ 7, pre {page = 1} : bit[8];
+  variable current_page = curr : int(8);
+
+  register mar0 = base @ 8, pre {page = 1} : bit[8];
+  variable mcast0 = mar0 : int(8);
+  register mar1 = base @ 9, pre {page = 1} : bit[8];
+  variable mcast1 = mar1 : int(8);
+  register mar2 = base @ 10, pre {page = 1} : bit[8];
+  variable mcast2 = mar2 : int(8);
+  register mar3 = base @ 11, pre {page = 1} : bit[8];
+  variable mcast3 = mar3 : int(8);
+  register mar4 = base @ 12, pre {page = 1} : bit[8];
+  variable mcast4 = mar4 : int(8);
+  register mar5 = base @ 13, pre {page = 1} : bit[8];
+  variable mcast5 = mar5 : int(8);
+  register mar6 = base @ 14, pre {page = 1} : bit[8];
+  variable mcast6 = mar6 : int(8);
+  register mar7 = base @ 15, pre {page = 1} : bit[8];
+  variable mcast7 = mar7 : int(8);
+
+  // --- Remote DMA data window and reset port ---
+  register data_port = data @ 0 : bit[16];
+  variable dma_data = data_port, volatile : int(16);
+
+  register reset_reg = read rst @ 0 : bit[8];
+  variable reset_byte = reset_reg, volatile : int(8);
+}
+)";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// 3Dlabs Permedia 2 graphics controller (control-space registers).
+// ---------------------------------------------------------------------------
+const std::string& permedia2_spec() {
+  static const std::string spec = R"(
+device permedia2 (ctrl : bit[32] port @ {0..15})
+{
+  // --- Chip reset and status ---
+  register reset_status = ctrl @ 0 : bit[32];
+  variable reset_state = reset_status[0], volatile : { RESET_BUSY <= '1', RESET_DONE <= '0' };
+  variable reset_pad = reset_status[31..1] : int(31);
+
+  // --- Input FIFO space ---
+  register fifo_space = read ctrl @ 1, mask '****************................' : bit[32];
+  variable free_slots = fifo_space[15..0], volatile : int(16);
+
+  // --- Interrupt enable / flags ---
+  register int_enable = ctrl @ 2, mask '***************************.....' : bit[32];
+  variable ie_dma      = int_enable[0] : bool;
+  variable ie_sync     = int_enable[1] : bool;
+  variable ie_vblank   = int_enable[2] : bool;
+  variable ie_error    = int_enable[3] : bool;
+  variable ie_scanline = int_enable[4] : bool;
+
+  register int_flags = ctrl @ 3, mask '***************************.....' : bit[32];
+  variable if_dma      = int_flags[0], volatile : bool;
+  variable if_sync     = int_flags[1], volatile : bool;
+  variable if_vblank   = int_flags[2], volatile : bool;
+  variable if_error    = int_flags[3], volatile : bool;
+  variable if_scanline = int_flags[4], volatile : bool;
+
+  // --- DMA engine ---
+  register dma_address = ctrl @ 4 : bit[32];
+  variable dma_addr = dma_address : int(32);
+
+  register dma_count = ctrl @ 5, mask '................................' : bit[32];
+  variable dma_words = dma_count[31..0], volatile : int(32);
+
+  // --- Video timing ---
+  register screen_base = ctrl @ 6 : bit[32];
+  variable fb_offset = screen_base : int(32);
+
+  register screen_stride = ctrl @ 7, mask '****************................' : bit[32];
+  variable stride_words = screen_stride[15..0] : int(16);
+
+  register h_total = ctrl @ 8, mask '****************................' : bit[32];
+  variable htotal_pixels = h_total[15..0] : int(16);
+
+  register v_total = ctrl @ 9, mask '****************................' : bit[32];
+  variable vtotal_lines = v_total[15..0] : int(16);
+
+  register h_sync = ctrl @ 10, mask '****************................' : bit[32];
+  variable hsync_pixels = h_sync[15..0] : int(16);
+
+  register v_sync = ctrl @ 11, mask '****************................' : bit[32];
+  variable vsync_lines = v_sync[15..0] : int(16);
+
+  // --- Rasteriser ---
+  register fb_read_mode = ctrl @ 12 : bit[32];
+  variable read_mode = fb_read_mode : int(32);
+
+  register fb_write_mode = ctrl @ 13, mask '*******************************.' : bit[32];
+  variable write_enable = fb_write_mode[0] : { FB_WRITE_ON <=> '1', FB_WRITE_OFF <=> '0' };
+
+  register chip_config = ctrl @ 14, mask '****************................' : bit[32];
+  variable agp_caps = chip_config[15..8] : int(8);
+  variable bus_caps = chip_config[7..0] : int(8);
+
+  register sync_tag = ctrl @ 15 : bit[32];
+  variable sync_value = sync_tag, volatile : int(32);
+}
+)";
+  return spec;
+}
+
+const std::vector<SpecEntry>& all_specs() {
+  static const std::vector<SpecEntry> specs = {
+      {"Logitech Busmouse", "busmouse.dil", busmouse_spec()},
+      {"PCI Bus Master (Intel 82371FB)", "piix_bm.dil", pci_busmaster_spec()},
+      {"IDE (Intel PIIX4)", "ide.dil", ide_spec()},
+      {"Ethernet NE2000 (ns8390)", "ne2000.dil", ne2000_spec()},
+      {"Graphic card (Permedia 2)", "permedia2.dil", permedia2_spec()},
+  };
+  return specs;
+}
+
+}  // namespace corpus

@@ -1,0 +1,30 @@
+// The five Devil specifications of the paper's Table 2.
+//
+// The busmouse specification is the paper's Fig. 3, verbatim modulo
+// whitespace. The other four are reconstructions at the scale the paper
+// reports (Table 2 line counts) targeting the same controllers; the paper's
+// own specs were never published alongside the report, so these are written
+// from the controllers' public register maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace corpus {
+
+struct SpecEntry {
+  std::string name;        // Table 2 row label
+  std::string file;        // pseudo filename (becomes the debug __FILE__ tag)
+  std::string text;
+};
+
+[[nodiscard]] const std::string& busmouse_spec();
+[[nodiscard]] const std::string& ide_spec();
+[[nodiscard]] const std::string& pci_busmaster_spec();
+[[nodiscard]] const std::string& ne2000_spec();
+[[nodiscard]] const std::string& permedia2_spec();
+
+/// All five, in Table 2 order.
+[[nodiscard]] const std::vector<SpecEntry>& all_specs();
+
+}  // namespace corpus

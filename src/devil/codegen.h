@@ -1,0 +1,31 @@
+// Stub generation from a checked Devil specification (paper §2.3, Fig. 4).
+//
+// Stubs are emitted as MiniC source (our C-subset substrate). Two modes:
+//
+//  - kProduction: Devil types map to plain integers; enum values are object
+//    macros. Minimal compile-time protection — this is the baseline whose
+//    weakness Table 3 quantifies for classic C code.
+//  - kDebug: every Devil type becomes a distinct struct carrying a
+//    (filename, type-id, value) triple; read stubs assert value ranges and
+//    mask conformance; `dil_eq` performs the run-time type-tag check.
+//
+// The CDevil glue code is written once and compiles against either mode:
+// production defines `X_t` as a macro alias of an integer type, debug defines
+// `struct X_t`.
+#pragma once
+
+#include <string>
+
+#include "devil/sema.h"
+
+namespace devil {
+
+enum class CodegenMode { kProduction, kDebug };
+
+/// Generates the stub "header" for `info`. `header_name` becomes the
+/// __FILE__ tag carried by debug values (paper: the generated .dil.h file).
+[[nodiscard]] std::string generate_stubs(const DeviceInfo& info,
+                                         CodegenMode mode,
+                                         const std::string& header_name);
+
+}  // namespace devil

@@ -1,0 +1,35 @@
+// Lexer for the Devil IDL.
+#pragma once
+
+#include <vector>
+
+#include "devil/token.h"
+#include "support/diagnostics.h"
+#include "support/source.h"
+
+namespace devil {
+
+class Lexer {
+ public:
+  Lexer(const support::SourceBuffer& buffer, support::DiagnosticEngine& diags)
+      : buf_(buffer), diags_(diags) {}
+
+  /// Lexes the whole buffer. The last token is always kEof.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  Token make(TokKind kind, support::SourceLoc begin, std::string text);
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_trivia();
+
+  [[nodiscard]] support::SourceLoc here() const { return loc_; }
+
+  const support::SourceBuffer& buf_;
+  support::DiagnosticEngine& diags_;
+  support::SourceLoc loc_;
+};
+
+}  // namespace devil

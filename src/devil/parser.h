@@ -1,0 +1,52 @@
+// Recursive-descent parser for the Devil IDL.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "devil/ast.h"
+#include "devil/token.h"
+#include "support/diagnostics.h"
+
+namespace devil {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+      : toks_(std::move(tokens)), diags_(diags) {}
+
+  /// Parses one specification. Returns nullopt on a parse error (diagnostics
+  /// explain why). Mutation-generated specs are syntactically valid by
+  /// construction (§3.1), so in the campaigns a parse failure is a bug in the
+  /// mutation engine, not a detected mutant.
+  [[nodiscard]] std::optional<Specification> parse();
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(TokKind k) const { return peek().is(k); }
+  bool accept(TokKind k);
+  bool expect(TokKind k, const char* what);
+  [[noreturn]] void fail();
+
+  DeviceDecl parse_device();
+  PortParam parse_port_param();
+  RegisterDecl parse_register();
+  VariableDecl parse_variable(bool is_private);
+  PortExpr parse_port_expr();
+  PreAction parse_pre_action();
+  RegFragment parse_fragment();
+  TypeExpr parse_type();
+  std::vector<EnumItem> parse_enum_items();
+  uint64_t parse_int(const char* what);
+
+  std::vector<Token> toks_;
+  support::DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+struct ParseError {};
+
+}  // namespace devil

@@ -1,0 +1,157 @@
+#include "devil/printer.h"
+
+#include <sstream>
+
+namespace devil {
+
+namespace {
+
+void print_port_expr(std::ostringstream& os, const PortExpr& pe) {
+  os << pe.base;
+  if (pe.has_offset) os << " @ " << pe.offset;
+}
+
+const char* arrow(MappingDir dir) {
+  switch (dir) {
+    case MappingDir::kRead: return "<=";
+    case MappingDir::kWrite: return "=>";
+    case MappingDir::kBoth: return "<=>";
+  }
+  return "<=>";
+}
+
+}  // namespace
+
+std::string print_type(const TypeExpr& type) {
+  std::ostringstream os;
+  switch (type.kind) {
+    case TypeKind::kInt:
+      os << "int(" << type.width_bits << ")";
+      break;
+    case TypeKind::kSignedInt:
+      os << "signed int(" << type.width_bits << ")";
+      break;
+    case TypeKind::kBool:
+      os << "bool";
+      break;
+    case TypeKind::kEnum: {
+      os << "{ ";
+      for (size_t i = 0; i < type.items.size(); ++i) {
+        if (i) os << ", ";
+        const EnumItem& item = type.items[i];
+        os << item.name << ' ' << arrow(item.dir) << " '" << item.pattern
+           << "'";
+      }
+      os << " }";
+      break;
+    }
+    case TypeKind::kIntSet: {
+      // Re-compress runs of three or more into ranges for readability.
+      os << "int{";
+      bool first = true;
+      for (size_t i = 0; i < type.set_values.size();) {
+        size_t j = i;
+        while (j + 1 < type.set_values.size() &&
+               type.set_values[j + 1] == type.set_values[j] + 1) {
+          ++j;
+        }
+        if (!first) os << ",";
+        first = false;
+        if (j >= i + 2) {
+          os << type.set_values[i] << ".." << type.set_values[j];
+        } else {
+          os << type.set_values[i];
+          if (j == i + 1) os << "," << type.set_values[j];
+        }
+        i = j + 1;
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string print_register(const RegisterDecl& reg) {
+  std::ostringstream os;
+  os << "register " << reg.name << " = ";
+  for (size_t i = 0; i < reg.bindings.size(); ++i) {
+    if (i) os << ", ";
+    const PortBinding& b = reg.bindings[i];
+    if (b.access == Access::kRead) os << "read ";
+    if (b.access == Access::kWrite) os << "write ";
+    print_port_expr(os, b.port);
+  }
+  for (const auto& pa : reg.pre_actions) {
+    os << ", pre {" << pa.var << " = " << pa.value << "}";
+  }
+  if (!reg.mask.empty()) os << ", mask '" << reg.mask.pattern << "'";
+  os << " : bit[" << reg.size_bits << "];";
+  return os.str();
+}
+
+std::string print_variable(const VariableDecl& var) {
+  std::ostringstream os;
+  if (var.is_private) os << "private ";
+  os << "variable " << var.name << " = ";
+  for (size_t i = 0; i < var.fragments.size(); ++i) {
+    if (i) os << " # ";
+    const RegFragment& f = var.fragments[i];
+    os << f.reg;
+    if (f.has_range) {
+      os << '[' << f.msb;
+      if (f.msb != f.lsb) os << ".." << f.lsb;
+      os << ']';
+    }
+  }
+  if (var.is_volatile) os << ", volatile";
+  if (var.write_trigger) os << ", write trigger";
+  os << " : " << print_type(var.type) << ";";
+  return os.str();
+}
+
+std::string print_spec(const Specification& spec) {
+  const DeviceDecl& dev = spec.device;
+  std::ostringstream os;
+  os << "device " << dev.name << " (";
+  for (size_t i = 0; i < dev.params.size(); ++i) {
+    if (i) os << ",\n" << std::string(dev.name.size() + 9, ' ');
+    const PortParam& p = dev.params[i];
+    os << p.name << " : bit[" << p.width_bits << "] port @ {";
+    // Compress consecutive offsets into ranges (mirrors the int-set rule).
+    bool first_group = true;
+    for (size_t k = 0; k < p.offsets.size();) {
+      size_t j = k;
+      while (j + 1 < p.offsets.size() &&
+             p.offsets[j + 1] == p.offsets[j] + 1) {
+        ++j;
+      }
+      if (!first_group) os << ", ";
+      first_group = false;
+      os << p.offsets[k];
+      if (j > k) os << ".." << p.offsets[j];
+      k = j + 1;
+    }
+    os << "}";
+  }
+  os << ")\n{\n";
+
+  // Interleave registers and variables in source order (by location), the
+  // layout style of the paper's Fig. 3.
+  size_t ri = 0, vi = 0;
+  while (ri < dev.registers.size() || vi < dev.variables.size()) {
+    bool take_reg =
+        ri < dev.registers.size() &&
+        (vi >= dev.variables.size() ||
+         dev.registers[ri].loc.offset < dev.variables[vi].loc.offset);
+    if (take_reg) {
+      os << "  " << print_register(dev.registers[ri++]) << "\n";
+    } else {
+      os << "  " << print_variable(dev.variables[vi++]) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace devil

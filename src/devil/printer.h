@@ -1,0 +1,19 @@
+// Pretty-printer for Devil specifications: formats a parsed AST back to
+// canonical concrete syntax. Supports tooling (spec_lint --format) and the
+// round-trip property tests (parse(print(ast)) == ast).
+#pragma once
+
+#include <string>
+
+#include "devil/ast.h"
+
+namespace devil {
+
+[[nodiscard]] std::string print_spec(const Specification& spec);
+
+/// Individual pieces, exposed for tests.
+[[nodiscard]] std::string print_type(const TypeExpr& type);
+[[nodiscard]] std::string print_register(const RegisterDecl& reg);
+[[nodiscard]] std::string print_variable(const VariableDecl& var);
+
+}  // namespace devil

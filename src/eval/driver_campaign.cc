@@ -1,0 +1,187 @@
+#include "eval/driver_campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "hw/ide_disk.h"
+#include "hw/io_bus.h"
+#include "minic/program.h"
+#include "mutation/c_mutator.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace eval {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kCompileTime: return "Compile-time check";
+    case Outcome::kRunTime: return "Run-time check";
+    case Outcome::kDeadCode: return "Dead code";
+    case Outcome::kBoot: return "Boot";
+    case Outcome::kCrash: return "Crash";
+    case Outcome::kInfiniteLoop: return "Infinite loop";
+    case Outcome::kHalt: return "Halt";
+    case Outcome::kDamagedBoot: return "Damaged boot";
+  }
+  return "?";
+}
+
+const char* outcome_short(Outcome o) {
+  switch (o) {
+    case Outcome::kCompileTime: return "compile";
+    case Outcome::kRunTime: return "runtime";
+    case Outcome::kDeadCode: return "dead";
+    case Outcome::kBoot: return "boot";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kInfiniteLoop: return "loop";
+    case Outcome::kHalt: return "halt";
+    case Outcome::kDamagedBoot: return "damaged";
+  }
+  return "?";
+}
+
+namespace {
+
+Outcome classify_fault(minic::FaultKind kind) {
+  switch (kind) {
+    case minic::FaultKind::kDevilAssertion:
+      return Outcome::kRunTime;
+    case minic::FaultKind::kPanic:
+      return Outcome::kHalt;
+    case minic::FaultKind::kStepLimit:
+      return Outcome::kInfiniteLoop;
+    case minic::FaultKind::kBusFault:
+    case minic::FaultKind::kDivByZero:
+    case minic::FaultKind::kBadIndex:
+    case minic::FaultKind::kStackOverflow:
+      return Outcome::kCrash;
+    case minic::FaultKind::kNone:
+    case minic::FaultKind::kInternal:
+      break;
+  }
+  throw std::logic_error("unclassifiable fault kind");
+}
+
+}  // namespace
+
+DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
+  // Line offset of the driver within the concatenated unit (stubs first).
+  const std::string prefix =
+      config.stubs.empty() ? std::string() : config.stubs + "\n";
+  const uint32_t line_offset = static_cast<uint32_t>(
+      std::count(prefix.begin(), prefix.end(), '\n'));
+
+  // --- baseline run -----------------------------------------------------------
+  const std::string clean_unit = prefix + config.driver;
+  minic::Program clean = minic::compile(config.unit_name, clean_unit);
+  if (!clean.ok()) {
+    throw std::logic_error("unmutated driver does not compile:\n" +
+                           clean.diags.render());
+  }
+  DriverCampaignResult result;
+  {
+    hw::IoBus bus;
+    auto disk = std::make_shared<hw::IdeDisk>();
+    bus.map(0x1f0, 8, disk);
+    minic::Interp interp(*clean.unit, bus, config.step_budget);
+    auto run = interp.run(config.entry);
+    if (run.fault != minic::FaultKind::kNone) {
+      throw std::logic_error("unmutated driver faults at boot: " +
+                             run.fault_message);
+    }
+    if (run.return_value <= 0) {
+      throw std::logic_error("unmutated driver returned a non-positive boot "
+                             "fingerprint");
+    }
+    if (disk->damaged()) {
+      throw std::logic_error("unmutated driver damaged the disk");
+    }
+    result.clean_fingerprint = run.return_value;
+  }
+
+  // --- mutant generation ---------------------------------------------------------
+  mutation::CScanOptions scan;
+  scan.classes = config.is_cdevil
+                     ? mutation::classes_for_cdevil_driver(config.stubs,
+                                                           config.driver)
+                     : mutation::classes_for_c_driver(config.driver);
+  auto sites = mutation::scan_c_sites(config.driver, scan);
+  auto mutants = mutation::generate_c_mutants(sites, scan.classes);
+  result.total_sites = sites.size();
+  result.total_mutants = mutants.size();
+
+  auto selected = support::sample_indices(mutants.size(),
+                                          config.sample_percent, config.seed);
+  result.sampled_mutants = selected.size();
+
+  // --- per-mutant compile + boot ---------------------------------------------------
+  for (size_t ix : selected) {
+    const mutation::Mutant& m = mutants[ix];
+    const mutation::Site& site = sites[m.site];
+    std::string mutated_driver =
+        mutation::apply_mutant(config.driver, sites, m);
+    std::string unit = prefix + mutated_driver;
+
+    MutantRecord rec;
+    rec.mutant_index = ix;
+    rec.site = m.site;
+
+    std::string compile_detail;
+    minic::Program prog = minic::compile(config.unit_name, unit);
+    if (!prog.ok()) {
+      rec.outcome = Outcome::kCompileTime;
+      if (!prog.diags.all().empty()) {
+        rec.detail = prog.diags.all().front().to_string();
+      }
+    } else {
+      hw::IoBus bus;
+      auto disk = std::make_shared<hw::IdeDisk>();
+      bus.map(0x1f0, 8, disk);
+      minic::Interp interp(*prog.unit, bus, config.step_budget);
+      auto run = interp.run(config.entry);
+
+      if (run.fault == minic::FaultKind::kInternal) {
+        throw std::logic_error("interpreter bug on mutant: " +
+                               run.fault_message);
+      }
+      if (run.fault != minic::FaultKind::kNone) {
+        rec.outcome = classify_fault(run.fault);
+        rec.detail = run.fault_message;
+      } else if (disk->damaged() ||
+                 run.return_value != result.clean_fingerprint) {
+        // Boot completed but the system is visibly wrong: clobbered disk or
+        // a different world view (wrong partition/filesystem mounted).
+        rec.outcome = Outcome::kDamagedBoot;
+        rec.detail = disk->damaged() ? disk->damage_note()
+                                     : "wrong boot fingerprint";
+      } else {
+        // Healthy boot: dead code iff the mutated token never executed.
+        uint32_t unit_line = site.line + line_offset;
+        bool executed;
+        if (!site.define_name.empty()) {
+          // Site inside a #define body: executed iff any use of the macro
+          // sits on an executed line.
+          executed = false;
+          auto uses = prog.unit->macro_use_lines.find(site.define_name);
+          if (uses != prog.unit->macro_use_lines.end()) {
+            for (uint32_t use_line : uses->second) {
+              if (run.executed_lines.count(use_line)) {
+                executed = true;
+                break;
+              }
+            }
+          }
+        } else {
+          executed = run.executed_lines.count(unit_line) > 0;
+        }
+        rec.outcome = executed ? Outcome::kBoot : Outcome::kDeadCode;
+      }
+    }
+    result.tally.add(rec.outcome, rec.site);
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace eval

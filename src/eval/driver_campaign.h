@@ -1,0 +1,57 @@
+// Tables 3/4 campaign: mutate a driver, compile each mutant, boot the
+// survivors against the simulated IDE disk, classify the outcome.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/outcome.h"
+#include "mutation/site.h"
+
+namespace eval {
+
+struct DriverCampaignConfig {
+  /// Generated Devil stubs, prepended to the driver. Empty for the plain C
+  /// driver.
+  std::string stubs;
+  /// The driver translation unit that gets mutated (contains MUT markers).
+  std::string driver;
+  std::string unit_name = "driver.c";
+  std::string entry = "ide_boot";
+  /// True when identifier classes should be derived from the Devil stubs.
+  bool is_cdevil = false;
+
+  /// The paper tests a random 25% of the generated mutants (§4.2).
+  unsigned sample_percent = 25;
+  uint64_t seed = 20010325;  // deterministic campaigns; any seed works
+  uint64_t step_budget = 3'000'000;
+};
+
+struct MutantRecord {
+  size_t mutant_index;  // into the full mutant list
+  size_t site;
+  Outcome outcome;
+  std::string detail;   // fault message / diagnostic code, when any
+};
+
+struct DriverCampaignResult {
+  size_t total_sites = 0;
+  size_t total_mutants = 0;    // before sampling
+  size_t sampled_mutants = 0;
+  Tally tally;
+  int64_t clean_fingerprint = 0;
+  std::vector<MutantRecord> records;  // one per sampled mutant
+};
+
+/// Runs the campaign. Preconditions (std::logic_error otherwise): the
+/// unmutated unit compiles, boots without fault, and returns a positive
+/// fingerprint.
+[[nodiscard]] DriverCampaignResult run_ide_campaign(
+    const DriverCampaignConfig& config);
+
+/// Classifies one already-compiled-or-failed mutant run; exposed for tests.
+[[nodiscard]] const char* outcome_short(Outcome o);
+
+}  // namespace eval

@@ -1,0 +1,49 @@
+// Outcome taxonomy of the paper's boot experiments (§4.2, cases 1-7).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace eval {
+
+enum class Outcome {
+  kCompileTime,   // rejected by the (MiniC/Devil) compiler
+  kRunTime,       // caught by a Devil assertion ("case 1")
+  kDeadCode,      // mutation on a non-executed path ("case 2")
+  kBoot,          // boots, no damage observed — the worst case ("case 3")
+  kCrash,         // kernel crashes, nothing printed ("case 4")
+  kInfiniteLoop,  // never completes the boot ("case 5")
+  kHalt,          // kernel halts with a panic message ("case 6")
+  kDamagedBoot,   // boot completes but visible damage ("case 7")
+};
+
+[[nodiscard]] const char* outcome_name(Outcome o);
+
+/// Aggregated campaign tally: mutants per outcome plus the distinct
+/// mutation sites contributing to each outcome (Tables 3/4 report both).
+struct Tally {
+  std::map<Outcome, size_t> mutants;
+  std::map<Outcome, std::set<size_t>> sites;
+  size_t total_mutants = 0;
+
+  void add(Outcome o, size_t site) {
+    ++mutants[o];
+    sites[o].insert(site);
+    ++total_mutants;
+  }
+  [[nodiscard]] size_t mutants_of(Outcome o) const {
+    auto it = mutants.find(o);
+    return it == mutants.end() ? 0 : it->second;
+  }
+  [[nodiscard]] size_t sites_of(Outcome o) const {
+    auto it = sites.find(o);
+    return it == sites.end() ? 0 : it->second.size();
+  }
+  /// Detected at compile time or by a Devil assertion.
+  [[nodiscard]] size_t detected() const {
+    return mutants_of(Outcome::kCompileTime) + mutants_of(Outcome::kRunTime);
+  }
+};
+
+}  // namespace eval

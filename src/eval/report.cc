@@ -1,0 +1,90 @@
+#include "eval/report.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace eval {
+
+std::string render_table2(const std::vector<SpecCampaignRow>& rows) {
+  support::TextTable t({"Specification", "Number of lines",
+                        "Number of mutation sites", "Number of injected mutants",
+                        "% of detected mutants"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, std::to_string(r.code_lines), std::to_string(r.sites),
+               std::to_string(r.mutants),
+               support::percent(r.detected, r.mutants)});
+  }
+  return t.render();
+}
+
+namespace {
+void add_outcome_row(support::TextTable& t, const DriverCampaignResult& r,
+                     Outcome o) {
+  t.add_row({outcome_name(o), std::to_string(r.tally.sites_of(o)),
+             std::to_string(r.tally.mutants_of(o)),
+             support::percent(r.tally.mutants_of(o), r.sampled_mutants)});
+}
+}  // namespace
+
+std::string render_driver_table(const std::string& title,
+                                const DriverCampaignResult& r) {
+  std::ostringstream os;
+  os << title << "\n";
+  support::TextTable t({"", "Number of mutation sites", "Number of mutants",
+                        "Concerned mutants / total nb. of mutants"});
+  add_outcome_row(t, r, Outcome::kCompileTime);
+  if (r.tally.mutants_of(Outcome::kRunTime) > 0) {
+    add_outcome_row(t, r, Outcome::kRunTime);
+  }
+  add_outcome_row(t, r, Outcome::kCrash);
+  add_outcome_row(t, r, Outcome::kInfiniteLoop);
+  add_outcome_row(t, r, Outcome::kHalt);
+  add_outcome_row(t, r, Outcome::kDamagedBoot);
+  add_outcome_row(t, r, Outcome::kBoot);
+  if (r.tally.mutants_of(Outcome::kDeadCode) > 0) {
+    add_outcome_row(t, r, Outcome::kDeadCode);
+  }
+  t.add_separator();
+  t.add_row({"Total", std::to_string(r.total_sites),
+             std::to_string(r.sampled_mutants), "N/A"});
+  os << t.render();
+  os << "(" << r.total_mutants << " mutants generated, " << r.sampled_mutants
+     << " sampled for testing)\n";
+  return os.str();
+}
+
+std::string render_comparison(const DriverCampaignResult& c_result,
+                              const DriverCampaignResult& d_result) {
+  auto pct = [](size_t n, size_t d) {
+    return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                              static_cast<double>(d);
+  };
+  double c_detected = pct(c_result.tally.detected(), c_result.sampled_mutants);
+  double d_detected = pct(d_result.tally.detected(), d_result.sampled_mutants);
+  double c_boot = pct(c_result.tally.mutants_of(Outcome::kBoot),
+                      c_result.sampled_mutants);
+  double d_boot = pct(d_result.tally.mutants_of(Outcome::kBoot),
+                      d_result.sampled_mutants);
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "Detected at compile time or run time:\n";
+  os << "  original C driver : " << c_detected << " %\n";
+  os << "  Devil (CDevil)    : " << d_detected << " %";
+  if (c_detected > 0) {
+    os << "   (" << (d_detected / c_detected) << "x more errors detected)";
+  }
+  os << "\n";
+  os << "Undetected 'Boot' mutants (the worst case for the developer):\n";
+  os << "  original C driver : " << c_boot << " %\n";
+  os << "  Devil (CDevil)    : " << d_boot << " %";
+  if (d_boot > 0) {
+    os << "   (" << (c_boot / d_boot) << "x fewer undetected errors)";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace eval

@@ -1,0 +1,27 @@
+// Renders campaign results in the layout of the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/driver_campaign.h"
+#include "eval/spec_campaign.h"
+
+namespace eval {
+
+/// Table 2: "Mutation coverage of the Devil compiler".
+[[nodiscard]] std::string render_table2(
+    const std::vector<SpecCampaignRow>& rows);
+
+/// Tables 3/4: "Mutations on C / CDevil code". Rows follow the paper: a
+/// compile-time line, then the boot behaviours, then totals.
+[[nodiscard]] std::string render_driver_table(
+    const std::string& title, const DriverCampaignResult& result);
+
+/// Headline comparison of the two campaigns (the paper's §4.2 narrative:
+/// detected fraction, worst-case "Boot" fraction, ratios).
+[[nodiscard]] std::string render_comparison(
+    const DriverCampaignResult& c_result,
+    const DriverCampaignResult& cdevil_result);
+
+}  // namespace eval

@@ -1,0 +1,65 @@
+#include "eval/spec_campaign.h"
+
+#include <stdexcept>
+
+#include "devil/compiler.h"
+#include "mutation/devil_mutator.h"
+#include "support/strings.h"
+
+namespace eval {
+
+namespace {
+
+mutation::DevilNames names_from(const devil::DeviceInfo& info) {
+  mutation::DevilNames names;
+  for (const auto& p : info.decl->params) names.ports.push_back(p.name);
+  for (const auto& r : info.decl->registers) names.registers.push_back(r.name);
+  for (const auto& v : info.decl->variables) names.variables.push_back(v.name);
+  return names;
+}
+
+}  // namespace
+
+SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
+                                  size_t max_survivor_samples) {
+  auto baseline = devil::check_spec(spec.file, spec.text);
+  if (!baseline.ok()) {
+    throw std::logic_error("unmutated spec '" + spec.name +
+                           "' fails the Devil compiler:\n" +
+                           baseline.diags.render());
+  }
+
+  SpecCampaignRow row;
+  row.name = spec.name;
+  row.code_lines = support::count_code_lines(spec.text);
+
+  mutation::DevilNames names = names_from(*baseline.info);
+  auto sites = mutation::scan_devil_sites(spec.text, names);
+  auto mutants = mutation::generate_devil_mutants(sites, names);
+  row.sites = sites.size();
+  row.mutants = mutants.size();
+
+  for (const auto& m : mutants) {
+    std::string mutated = mutation::apply_mutant(spec.text, sites, m);
+    auto result = devil::check_spec(spec.file, mutated);
+    if (!result.ok()) {
+      ++row.detected;
+    } else if (row.undetected_samples.size() < max_survivor_samples) {
+      const auto& s = sites[m.site];
+      row.undetected_samples.push_back(
+          "line " + std::to_string(s.line) + ": '" + s.original + "' -> '" +
+          m.replacement + "'");
+    }
+  }
+  return row;
+}
+
+std::vector<SpecCampaignRow> run_all_spec_campaigns() {
+  std::vector<SpecCampaignRow> rows;
+  for (const auto& spec : corpus::all_specs()) {
+    rows.push_back(run_spec_campaign(spec));
+  }
+  return rows;
+}
+
+}  // namespace eval

@@ -1,0 +1,30 @@
+// Table 2 campaign: inject Devil-spec mutants, count how many the Devil
+// compiler rejects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/specs.h"
+
+namespace eval {
+
+struct SpecCampaignRow {
+  std::string name;
+  int code_lines = 0;        // non-blank, non-comment lines (Table 2 col 1)
+  size_t sites = 0;          // mutation sites (col 2)
+  size_t mutants = 0;        // injected mutants (col 3)
+  size_t detected = 0;       // rejected by the Devil compiler
+  std::vector<std::string> undetected_samples;  // a few survivors, for study
+};
+
+/// Runs the full (unsampled) mutation campaign over one specification.
+/// Precondition: the unmutated spec must pass the Devil compiler; throws
+/// std::logic_error otherwise (that is a corpus bug, not a result).
+[[nodiscard]] SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
+                                                size_t max_survivor_samples = 8);
+
+/// All five Table 2 rows.
+[[nodiscard]] std::vector<SpecCampaignRow> run_all_spec_campaigns();
+
+}  // namespace eval

@@ -1,0 +1,87 @@
+#include "hw/busmouse.h"
+
+namespace hw {
+
+void Busmouse::reset() {
+  dx_ = dy_ = 0;
+  buttons_ = 0;
+  index_ = 0;
+  irq_disabled_ = true;
+  config_ = 0;
+  signature_ = 0xa5;
+  garbage_ = 0x50;
+  protocol_violations_ = 0;
+}
+
+void Busmouse::set_motion(int8_t dx, int8_t dy, uint8_t buttons) {
+  dx_ = dx;
+  dy_ = dy;
+  buttons_ = buttons;
+}
+
+uint32_t Busmouse::read(uint32_t offset, int width) {
+  (void)width;
+  switch (offset) {
+    case 0: {  // DATA
+      uint8_t ux = static_cast<uint8_t>(dx_);
+      uint8_t uy = static_cast<uint8_t>(dy_);
+      // Rotate the garbage so sloppy drivers cannot rely on stale highs.
+      garbage_ = static_cast<uint8_t>((garbage_ << 1) | (garbage_ >> 7));
+      uint8_t junk_hi = garbage_ & 0xf0;
+      switch (index_ & 3) {
+        case 0: return junk_hi | (ux & 0x0f);
+        case 1: return junk_hi | ((ux >> 4) & 0x0f);
+        case 2: return junk_hi | (uy & 0x0f);
+        case 3: {
+          // Buttons in bits 7..5 (active low), dy high nibble in bits 3..0,
+          // bit 4 floats.
+          uint8_t b = static_cast<uint8_t>(~buttons_) & 0x07;
+          return static_cast<uint8_t>((b << 5) | (garbage_ & 0x10) |
+                                      ((uy >> 4) & 0x0f));
+        }
+      }
+      return 0;
+    }
+    case 1:
+      return signature_;
+    case 2:
+    case 3:
+      // Write-only registers: reads float high.
+      ++protocol_violations_;
+      return 0xff;
+    default:
+      ++protocol_violations_;
+      return 0xff;
+  }
+}
+
+void Busmouse::write(uint32_t offset, uint32_t value, int width) {
+  (void)width;
+  uint8_t v = static_cast<uint8_t>(value);
+  switch (offset) {
+    case 0:
+      ++protocol_violations_;  // DATA is read-only
+      return;
+    case 1:
+      signature_ = v;
+      return;
+    case 2:
+      // Two write-only registers share this port with disjoint masks
+      // (Fig. 3): bit 7 set selects the index register (bits 6..5), bit 7
+      // clear selects the interrupt register (bit 4, 1 = disabled).
+      if (v & 0x80) {
+        index_ = (v >> 5) & 3;
+      } else {
+        irq_disabled_ = (v & 0x10) != 0;
+      }
+      return;
+    case 3:
+      config_ = v;
+      return;
+    default:
+      ++protocol_violations_;
+      return;
+  }
+}
+
+}  // namespace hw

@@ -1,0 +1,53 @@
+// Behavioural model of the Logitech busmouse, the running example of the
+// paper (Fig. 2/3). Four 8-bit registers at offsets 0..3:
+//   0 DATA       read-only; contents selected by the index register
+//   1 SIGNATURE  read/write scratch byte, power-on value 0xa5
+//   2 CONTROL    write-only; two registers with disjoint masks share it
+//                (Fig. 3): bit7 = 1 -> index write (bits 6..5), bit7 = 0 ->
+//                interrupt write (bit 4, 1 = disabled)
+//   3 CONFIG     write-only configuration byte
+//
+// Index selects which nibble appears in DATA's low 4 bits:
+//   0 -> dx low, 1 -> dx high, 2 -> dy low, 3 -> dy high + buttons in bits
+//   7..5 (active low, as on the real device). Irrelevant DATA bits float to
+//   garbage on purpose so un-masked reads are visibly wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/io_bus.h"
+
+namespace hw {
+
+class Busmouse final : public Device {
+ public:
+  [[nodiscard]] std::string name() const override { return "busmouse"; }
+
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;
+
+  /// Test/bench hook: loads a pending motion report.
+  void set_motion(int8_t dx, int8_t dy, uint8_t buttons);
+
+  [[nodiscard]] uint8_t index() const { return index_; }
+  [[nodiscard]] bool irq_disabled() const { return irq_disabled_; }
+  [[nodiscard]] uint8_t config() const { return config_; }
+  [[nodiscard]] uint64_t protocol_violations() const {
+    return protocol_violations_;
+  }
+
+ private:
+  int8_t dx_ = 0;
+  int8_t dy_ = 0;
+  uint8_t buttons_ = 0;  // bit0 left, bit1 middle, bit2 right (pressed = 1)
+  uint8_t index_ = 0;
+  bool irq_disabled_ = true;
+  uint8_t config_ = 0;
+  uint8_t signature_ = 0xa5;
+  uint8_t garbage_ = 0x50;  // rotated into irrelevant bits
+  uint64_t protocol_violations_ = 0;
+};
+
+}  // namespace hw

@@ -1,0 +1,81 @@
+#include "hw/io_bus.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hw {
+
+void IoBus::map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev) {
+  for (const auto& m : mappings_) {
+    if (base < m.base + m.length && m.base < base + length) {
+      std::ostringstream os;
+      os << "I/O range overlap: " << dev->name() << " at 0x" << std::hex
+         << base << " collides with " << m.dev->name();
+      throw std::invalid_argument(os.str());
+    }
+  }
+  mappings_.push_back(Mapping{base, length, std::move(dev)});
+}
+
+IoBus::Mapping* IoBus::find(uint32_t port) {
+  for (auto& m : mappings_) {
+    if (port >= m.base && port < m.base + m.length) return &m;
+  }
+  return nullptr;
+}
+
+void IoBus::record(bool is_write, uint32_t port, uint32_t value, int width) {
+  if (!trace_enabled_) return;
+  if (trace_.size() >= trace_cap_) trace_.erase(trace_.begin());
+  trace_.push_back(IoAccess{is_write, port, value, width});
+}
+
+uint32_t IoBus::io_in(uint32_t port, int width) {
+  port &= 0xffff;  // x86 I/O space is 16-bit
+  uint32_t v;
+  if (Mapping* m = find(port)) {
+    v = m->dev->read(port - m->base, width);
+  } else {
+    ++unmapped_;
+    // Open bus floats high.
+    v = width >= 32 ? 0xffffffffu : (width >= 16 ? 0xffffu : 0xffu);
+  }
+  record(false, port, v, width);
+  return v;
+}
+
+void IoBus::io_out(uint32_t port, uint32_t value, int width) {
+  port &= 0xffff;
+  record(true, port, value, width);
+  if (Mapping* m = find(port)) {
+    m->dev->write(port - m->base, value, width);
+  } else {
+    ++unmapped_;  // writes to nowhere are silently dropped, as on a PC
+  }
+}
+
+void IoBus::reset() {
+  for (auto& m : mappings_) m.dev->reset();
+  trace_.clear();
+  unmapped_ = 0;
+}
+
+bool IoBus::any_damage() const {
+  for (const auto& m : mappings_) {
+    if (m.dev->damaged()) return true;
+  }
+  return false;
+}
+
+std::string IoBus::damage_report() const {
+  std::string out;
+  for (const auto& m : mappings_) {
+    if (m.dev->damaged()) {
+      if (!out.empty()) out += "; ";
+      out += m.dev->name() + ": " + m.dev->damage_note();
+    }
+  }
+  return out;
+}
+
+}  // namespace hw

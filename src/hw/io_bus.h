@@ -1,0 +1,91 @@
+// Simulated x86 I/O port bus.
+//
+// Substitution note (see DESIGN.md §2): the paper boots mutated drivers on
+// real hardware. We model the ISA-bus contract the mutants actually interact
+// with: I/O to an unmapped port does NOT fault — reads float high (all ones)
+// and writes are ignored, exactly as on a PC. This is what makes "poll a
+// wrong port" manifest as an infinite loop (status bits stuck at 1) rather
+// than a crash, reproducing the paper's outcome distribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/interp.h"
+
+namespace hw {
+
+/// One I/O access, for tests and debugging.
+struct IoAccess {
+  bool is_write = false;
+  uint32_t port = 0;
+  uint32_t value = 0;
+  int width = 8;
+};
+
+/// Base class for register-level behavioural device models.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reads `width` bits from register at byte offset `offset` within the
+  /// device's claimed range.
+  virtual uint32_t read(uint32_t offset, int width) = 0;
+  virtual void write(uint32_t offset, uint32_t value, int width) = 0;
+
+  /// Returns the device to power-on state (called between mutant runs).
+  virtual void reset() = 0;
+
+  /// True when the run left persistent damage (e.g. clobbered partition
+  /// table) — the paper's "damaged boot" evidence.
+  [[nodiscard]] virtual bool damaged() const { return false; }
+  [[nodiscard]] virtual std::string damage_note() const { return {}; }
+};
+
+/// Routes port I/O to mapped devices. Implements minic::IoEnvironment so the
+/// interpreter's inb/outb builtins land here.
+class IoBus final : public minic::IoEnvironment {
+ public:
+  /// Maps [base, base+length) to `dev`. Ranges must not overlap.
+  void map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev);
+
+  uint32_t io_in(uint32_t port, int width) override;
+  void io_out(uint32_t port, uint32_t value, int width) override;
+
+  /// Resets every mapped device and clears the trace.
+  void reset();
+
+  [[nodiscard]] bool any_damage() const;
+  [[nodiscard]] std::string damage_report() const;
+
+  /// Bounded access trace (oldest entries dropped past the cap).
+  void enable_trace(size_t cap = 4096) {
+    trace_enabled_ = true;
+    trace_cap_ = cap;
+  }
+  [[nodiscard]] const std::vector<IoAccess>& trace() const { return trace_; }
+
+  [[nodiscard]] uint64_t unmapped_accesses() const { return unmapped_; }
+
+ private:
+  struct Mapping {
+    uint32_t base;
+    uint32_t length;
+    std::shared_ptr<Device> dev;
+  };
+
+  Mapping* find(uint32_t port);
+  void record(bool is_write, uint32_t port, uint32_t value, int width);
+
+  std::vector<Mapping> mappings_;
+  std::vector<IoAccess> trace_;
+  bool trace_enabled_ = false;
+  size_t trace_cap_ = 4096;
+  uint64_t unmapped_ = 0;
+};
+
+}  // namespace hw

@@ -1,0 +1,132 @@
+#include "hw/misc_devices.h"
+
+namespace hw {
+
+// ---- Ne2000 ---------------------------------------------------------------
+
+void Ne2000::reset() {
+  cmd_ = 0x21;
+  isr_ = 0;
+  for (auto& p : pages_) p.fill(0);
+}
+
+uint32_t Ne2000::read(uint32_t offset, int width) {
+  (void)width;
+  if (offset == kCmd) return cmd_;
+  if (offset == kReset) {
+    // Reading the reset port resets the NIC and latches ISR.RST.
+    cmd_ = 0x21;
+    isr_ = 0x80;
+    return 0;
+  }
+  int page = (cmd_ >> 6) & 1;
+  if (offset >= 1 && offset <= 0x0f) {
+    if (page == 0 && offset == kIsr) return isr_;
+    return pages_[static_cast<size_t>(page)][offset];
+  }
+  return 0xff;
+}
+
+void Ne2000::write(uint32_t offset, uint32_t value, int width) {
+  (void)width;
+  uint8_t v = static_cast<uint8_t>(value);
+  if (offset == kCmd) {
+    cmd_ = v;
+    if (v & 0x02) isr_ &= static_cast<uint8_t>(~0x80);  // start clears RST
+    return;
+  }
+  int page = (cmd_ >> 6) & 1;
+  if (offset >= 1 && offset <= 0x0f) {
+    if (page == 0 && offset == kIsr) {
+      isr_ &= static_cast<uint8_t>(~v);  // write-1-to-clear
+      return;
+    }
+    pages_[static_cast<size_t>(page)][offset] = v;
+  }
+}
+
+// ---- PciBusMaster -----------------------------------------------------------
+
+void PciBusMaster::reset() {
+  command_.fill(0);
+  status_.fill(0);
+  prd_.fill(0);
+}
+
+uint32_t PciBusMaster::read(uint32_t offset, int width) {
+  int ch = offset >= 8 ? 1 : 0;
+  uint32_t rel = offset & 7;
+  switch (rel) {
+    case 0:
+      return command_[ch];
+    case 2:
+      return status_[ch];
+    case 4:
+      if (width >= 32) return prd_[ch];
+      return prd_[ch] & 0xff;
+    default:
+      return 0;
+  }
+}
+
+void PciBusMaster::write(uint32_t offset, uint32_t value, int width) {
+  int ch = offset >= 8 ? 1 : 0;
+  uint32_t rel = offset & 7;
+  switch (rel) {
+    case 0:
+      command_[ch] = static_cast<uint8_t>(value & 0x09);  // start + direction
+      if (value & 0x01) {
+        status_[ch] |= 0x01;  // active
+      } else {
+        status_[ch] &= static_cast<uint8_t>(~0x01);
+      }
+      return;
+    case 2:
+      // Error/IRQ bits are write-1-to-clear; the active bit is read-only.
+      status_[ch] &= static_cast<uint8_t>(~(value & 0x06));
+      return;
+    case 4:
+      if (width >= 32) {
+        prd_[ch] = value & ~3u;  // PRD table is dword-aligned
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---- Permedia2 ----------------------------------------------------------------
+
+void Permedia2::reset() {
+  regs_.fill(0);
+  fifo_space_ = 32;
+}
+
+uint32_t Permedia2::read(uint32_t offset, int width) {
+  (void)width;
+  uint32_t reg = offset;  // the bus maps one port per 32-bit register
+  switch (reg) {
+    case 0:  // reset status: always done
+      return 0;
+    case 1:  // FIFO space
+      return static_cast<uint32_t>(fifo_space_);
+    default:
+      return reg < regs_.size() ? regs_[reg] : 0xffffffffu;
+  }
+}
+
+void Permedia2::write(uint32_t offset, uint32_t value, int width) {
+  (void)width;
+  uint32_t reg = offset;  // one port per 32-bit register
+  if (reg == 0) {  // soft reset
+    reset();
+    return;
+  }
+  if (reg < regs_.size()) {
+    regs_[reg] = value;
+    if (fifo_space_ > 0) --fifo_space_;
+    if (fifo_space_ == 0) fifo_space_ = 32;  // drained instantly
+  }
+}
+
+}  // namespace hw

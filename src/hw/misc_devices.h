@@ -1,0 +1,72 @@
+// Shallow register-surface models for the remaining Table 2 devices.
+//
+// The paper's driver campaign is IDE-only; these models exist so the other
+// specifications can be exercised end-to-end (stub generation + smoke I/O in
+// tests and examples), not to emulate the full controllers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "hw/io_bus.h"
+
+namespace hw {
+
+/// NE2000 Ethernet controller: command register, paged register file, and
+/// the reset port. Enough behaviour for probe-style driver code: reading the
+/// reset port resets the chip and raises ISR.RST; a started chip clears it.
+class Ne2000 final : public Device {
+ public:
+  static constexpr uint32_t kCmd = 0x00;
+  static constexpr uint32_t kIsr = 0x07;   // page 0
+  static constexpr uint32_t kReset = 0x1f;
+
+  [[nodiscard]] std::string name() const override { return "ne2000"; }
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;
+
+  [[nodiscard]] bool started() const { return (cmd_ & 0x02) != 0; }
+
+ private:
+  uint8_t cmd_ = 0x21;  // stopped, page 0
+  uint8_t isr_ = 0;
+  std::array<std::array<uint8_t, 16>, 2> pages_{};
+};
+
+/// Intel 82371FB (PIIX) PCI IDE bus-master function: per-channel command,
+/// status and PRD-pointer registers.
+class PciBusMaster final : public Device {
+ public:
+  [[nodiscard]] std::string name() const override { return "piix-bm"; }
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;
+
+  [[nodiscard]] bool active(int channel) const {
+    return (status_[channel] & 0x01) != 0;
+  }
+  [[nodiscard]] uint32_t prd(int channel) const { return prd_[channel]; }
+
+ private:
+  std::array<uint8_t, 2> command_{};
+  std::array<uint8_t, 2> status_{};
+  std::array<uint32_t, 2> prd_{};
+};
+
+/// Permedia 2 graphics controller, reduced to the handful of control
+/// registers its specification covers (reset, FIFO space, sync).
+class Permedia2 final : public Device {
+ public:
+  [[nodiscard]] std::string name() const override { return "permedia2"; }
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;
+
+ private:
+  std::array<uint32_t, 16> regs_{};
+  int fifo_space_ = 32;
+};
+
+}  // namespace hw

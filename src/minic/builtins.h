@@ -1,0 +1,31 @@
+// Builtin functions shared by the MiniC type checker and interpreter.
+//
+// `dil_eq` and `dil_val` model the variadic comparison macro of the paper
+// (§2.3): in C they expand to member accesses, so mixing a struct with an
+// integer is a compile-time error, while mixing two *different* Devil struct
+// types compiles and is only caught by the run-time type-tag assertion.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace minic {
+
+enum class Builtin {
+  kInb,    // u8  inb(u32 port)
+  kInw,    // u16 inw(u32 port)
+  kInl,    // u32 inl(u32 port)
+  kOutb,   // void outb(u8 v, u32 port)
+  kOutw,   // void outw(u16 v, u32 port)
+  kOutl,   // void outl(u32 v, u32 port)
+  kPanic,  // void panic(cstring msg) — kernel panic / Devil assertion
+  kPrintk, // void printk(cstring msg)
+  kStrcmp, // int strcmp(cstring, cstring)
+  kUdelay, // void udelay(int usec) — burns interpreter steps
+  kDilEq,  // int dil_eq(x, y) — generic comparison (see header comment)
+  kDilVal, // int dil_val(x)   — raw value of a Devil-typed datum
+};
+
+[[nodiscard]] std::optional<Builtin> find_builtin(const std::string& name);
+
+}  // namespace minic

@@ -1,0 +1,660 @@
+#include "minic/interp.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "minic/builtins.h"
+#include "support/strings.h"
+
+namespace minic {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kPanic: return "panic";
+    case FaultKind::kDevilAssertion: return "devil-assertion";
+    case FaultKind::kBusFault: return "bus-fault";
+    case FaultKind::kStepLimit: return "step-limit";
+    case FaultKind::kStackOverflow: return "stack-overflow";
+    case FaultKind::kDivByZero: return "div-by-zero";
+    case FaultKind::kBadIndex: return "bad-index";
+    case FaultKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kMaxCallDepth = 128;
+
+/// Runtime value. Struct values are flat field vectors (field order from the
+/// struct declaration).
+struct Value {
+  Type type = Type::int_type();
+  int64_t i = 0;
+  std::string s;
+  std::vector<Value> fields;
+
+  static Value integer(int64_t v, Type t = Type::int_type()) {
+    Value out;
+    out.type = t;
+    out.i = v;
+    return out;
+  }
+  static Value str(std::string v) {
+    Value out;
+    out.type = Type::cstring();
+    out.s = std::move(v);
+    return out;
+  }
+};
+
+/// Narrows an int64 to the width/signedness of `t` (what a C assignment to a
+/// typed slot does).
+int64_t coerce_int(int64_t v, const Type& t) {
+  if (!t.is_integer() || t.bits >= 64) return v;
+  uint64_t mask = (uint64_t{1} << t.bits) - 1;
+  uint64_t u = static_cast<uint64_t>(v) & mask;
+  if (t.is_signed && ((u >> (t.bits - 1)) & 1)) u |= ~mask;
+  return static_cast<int64_t>(u);
+}
+
+struct Slot {
+  Value v;
+  bool is_array = false;
+  Type elem_type = Type::int_type();
+  std::vector<int64_t> arr;
+};
+
+struct BreakSignal {};
+struct ContinueSignal {};
+struct ReturnSignal {
+  Value v;
+};
+
+class Machine {
+ public:
+  Machine(const Unit& unit, IoEnvironment& io, uint64_t budget,
+          RunOutcome& out)
+      : unit_(unit), io_(io), steps_left_(budget), out_(out) {
+    for (const auto& sd : unit_.structs) structs_[sd.name] = &sd;
+    for (const auto& fn : unit_.functions) functions_[fn.name] = &fn;
+  }
+
+  void init_globals() {
+    for (const auto& g : unit_.globals) {
+      Slot slot;
+      if (g.array_size) {
+        slot.is_array = true;
+        slot.elem_type = g.type;
+        slot.arr.assign(static_cast<size_t>(*g.array_size), 0);
+      } else if (!g.init_list.empty()) {
+        mark_line(g.loc);
+        Value v = default_value(g.type);
+        for (size_t i = 0; i < g.init_list.size() && i < v.fields.size();
+             ++i) {
+          Value f = eval(*g.init_list[i]);
+          store_into(v.fields[i], std::move(f));
+        }
+        slot.v = std::move(v);
+      } else if (g.init) {
+        mark_line(g.loc);
+        Value v = eval(*g.init);
+        slot.v = default_value(g.type);
+        store_into(slot.v, std::move(v));
+      } else {
+        slot.v = default_value(g.type);
+      }
+      globals_[g.name] = std::move(slot);
+    }
+  }
+
+  Value call_function(const std::string& name, std::vector<Value> args) {
+    auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      throw Fault{FaultKind::kInternal, "missing function " + name};
+    }
+    const FunctionDecl& fn = *it->second;
+    if (++depth_ > kMaxCallDepth) {
+      throw Fault{FaultKind::kStackOverflow,
+                  "call depth exceeded in " + name};
+    }
+    frames_.emplace_back();
+    frames_.back().emplace_back();
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      Slot slot;
+      slot.v = default_value(fn.params[i].type);
+      if (i < args.size()) store_into(slot.v, std::move(args[i]));
+      frames_.back().back()[fn.params[i].name] = std::move(slot);
+    }
+    Value result = Value::integer(0);
+    try {
+      exec(*fn.body);
+    } catch (ReturnSignal& r) {
+      result = std::move(r.v);
+    }
+    frames_.pop_back();
+    --depth_;
+    return result;
+  }
+
+ private:
+  // ---- bookkeeping ---------------------------------------------------------
+  void step(support::SourceLoc loc) {
+    if (steps_left_ == 0) {
+      throw Fault{FaultKind::kStepLimit,
+                  "step budget exhausted at line " + std::to_string(loc.line)};
+    }
+    --steps_left_;
+    ++out_.steps_used;
+  }
+  void mark_line(support::SourceLoc loc) { out_.executed_lines.insert(loc.line); }
+
+  Value default_value(const Type& t) {
+    Value v;
+    v.type = t;
+    if (t.is_struct()) {
+      auto it = structs_.find(t.struct_name);
+      if (it != structs_.end()) {
+        for (const auto& f : it->second->fields) {
+          v.fields.push_back(default_value(f.type));
+        }
+      }
+    }
+    return v;
+  }
+
+  /// Assigns `from` into the typed destination `dst` (narrowing integers).
+  void store_into(Value& dst, Value from) {
+    if (dst.type.is_integer()) {
+      dst.i = coerce_int(from.i, dst.type);
+      return;
+    }
+    if (dst.type.kind == TypeKind::kCString) {
+      dst.s = std::move(from.s);
+      return;
+    }
+    if (dst.type.is_struct()) {
+      dst.fields = std::move(from.fields);
+      return;
+    }
+  }
+
+  // ---- name resolution -------------------------------------------------------
+  Slot* lookup(const std::string& name) {
+    if (!frames_.empty()) {
+      auto& scopes = frames_.back();
+      for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+        auto f = it->find(name);
+        if (f != it->end()) return &f->second;
+      }
+    }
+    auto g = globals_.find(name);
+    return g == globals_.end() ? nullptr : &g->second;
+  }
+
+  // ---- statements -------------------------------------------------------------
+  void exec(const Stmt& s) {
+    step(s.loc);
+    switch (s.kind) {
+      case StmtKind::kEmpty:
+        return;
+      case StmtKind::kExpr:
+        mark_line(s.loc);
+        eval(*s.expr[0]);
+        return;
+      case StmtKind::kDecl: {
+        mark_line(s.loc);
+        Slot slot;
+        if (s.array_size) {
+          slot.is_array = true;
+          slot.elem_type = s.decl_type;
+          slot.arr.assign(static_cast<size_t>(*s.array_size), 0);
+        } else {
+          slot.v = default_value(s.decl_type);
+          if (!s.expr.empty()) store_into(slot.v, eval(*s.expr[0]));
+        }
+        frames_.back().back()[s.decl_name] = std::move(slot);
+        return;
+      }
+      case StmtKind::kBlock: {
+        frames_.back().emplace_back();
+        for (const auto& child : s.body) exec(*child);
+        frames_.back().pop_back();
+        return;
+      }
+      case StmtKind::kIf: {
+        mark_line(s.loc);
+        if (truthy(eval(*s.expr[0]))) {
+          exec(*s.body[0]);
+        } else if (s.body.size() > 1) {
+          exec(*s.body[1]);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        while (true) {
+          step(s.loc);
+          mark_line(s.loc);
+          if (!truthy(eval(*s.expr[0]))) break;
+          try {
+            exec(*s.body[0]);
+          } catch (BreakSignal&) {
+            break;
+          } catch (ContinueSignal&) {
+          }
+        }
+        return;
+      }
+      case StmtKind::kDoWhile: {
+        while (true) {
+          step(s.loc);
+          mark_line(s.loc);
+          try {
+            exec(*s.body[0]);
+          } catch (BreakSignal&) {
+            break;
+          } catch (ContinueSignal&) {
+          }
+          if (!truthy(eval(*s.expr[0]))) break;
+        }
+        return;
+      }
+      case StmtKind::kFor: {
+        frames_.back().emplace_back();
+        // body[0] = loop body, body[1] = optional init statement.
+        if (s.body.size() > 1 && s.body[1]) exec(*s.body[1]);
+        while (true) {
+          step(s.loc);
+          mark_line(s.loc);
+          if (!s.expr.empty() && !truthy(eval(*s.expr[0]))) break;
+          try {
+            exec(*s.body[0]);
+          } catch (BreakSignal&) {
+            break;
+          } catch (ContinueSignal&) {
+          }
+          if (s.expr.size() > 1) eval(*s.expr[1]);
+        }
+        frames_.back().pop_back();
+        return;
+      }
+      case StmtKind::kReturn: {
+        mark_line(s.loc);
+        ReturnSignal r;
+        r.v = s.expr.empty() ? Value::integer(0) : eval(*s.expr[0]);
+        throw r;
+      }
+      case StmtKind::kBreak:
+        mark_line(s.loc);
+        throw BreakSignal{};
+      case StmtKind::kContinue:
+        mark_line(s.loc);
+        throw ContinueSignal{};
+      case StmtKind::kSwitch: {
+        mark_line(s.loc);
+        int64_t operand = eval(*s.expr[0]).i;
+        // Find the matching case. Case-label comparisons count as executed
+        // lines: the comparison itself runs even when the arm does not.
+        size_t match = s.cases.size();
+        size_t default_ix = s.cases.size();
+        for (size_t i = 0; i < s.cases.size(); ++i) {
+          const SwitchCase& c = s.cases[i];
+          if (c.is_default) {
+            default_ix = i;
+            continue;
+          }
+          mark_line(c.loc);
+          if (eval(*c.value).i == operand) {
+            match = i;
+            break;
+          }
+        }
+        if (match == s.cases.size()) match = default_ix;
+        // Fall through successive cases until a break.
+        try {
+          for (size_t i = match; i < s.cases.size(); ++i) {
+            for (const auto& child : s.cases[i].body) exec(*child);
+          }
+        } catch (BreakSignal&) {
+        }
+        return;
+      }
+    }
+  }
+
+  static bool truthy(const Value& v) { return v.i != 0; }
+
+  // ---- expressions --------------------------------------------------------------
+  Value eval(const Expr& e) {
+    step(e.loc);
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return Value::integer(static_cast<int64_t>(e.int_value));
+      case ExprKind::kStringLit:
+        return Value::str(e.text);
+      case ExprKind::kIdent: {
+        Slot* slot = lookup(e.text);
+        if (!slot) {
+          throw Fault{FaultKind::kInternal, "unbound name " + e.text};
+        }
+        return slot->v;  // arrays are only valid under kIndex (typechecked)
+      }
+      case ExprKind::kUnary: {
+        int64_t v = eval(*e.sub[0]).i;
+        switch (e.op) {
+          case Tok::kMinus: return Value::integer(-v);
+          case Tok::kPlus: return Value::integer(v);
+          case Tok::kTilde: return Value::integer(~v);
+          case Tok::kBang: return Value::integer(v == 0 ? 1 : 0);
+          default:
+            throw Fault{FaultKind::kInternal, "bad unary op"};
+        }
+      }
+      case ExprKind::kBinary:
+        return eval_binary(e);
+      case ExprKind::kAssign:
+        return eval_assign(e);
+      case ExprKind::kCond:
+        return truthy(eval(*e.sub[0])) ? eval(*e.sub[1]) : eval(*e.sub[2]);
+      case ExprKind::kMember: {
+        Value base = eval(*e.sub[0]);
+        return member_of(base, e);
+      }
+      case ExprKind::kIndex: {
+        Slot* slot = lookup(e.sub[0]->text);
+        if (!slot || !slot->is_array) {
+          throw Fault{FaultKind::kInternal, "index on non-array"};
+        }
+        int64_t ix = eval(*e.sub[1]).i;
+        if (ix < 0 || static_cast<size_t>(ix) >= slot->arr.size()) {
+          // Out-of-bounds access in kernel code: memory corruption -> crash.
+          throw Fault{FaultKind::kBadIndex,
+                      "out-of-bounds access to " + e.sub[0]->text};
+        }
+        return Value::integer(slot->arr[static_cast<size_t>(ix)],
+                              slot->elem_type);
+      }
+      case ExprKind::kCast: {
+        Value v = eval(*e.sub[0]);
+        if (e.cast_type.is_integer()) {
+          return Value::integer(coerce_int(v.i, e.cast_type), e.cast_type);
+        }
+        return v;  // struct->same struct or cstring: identity
+      }
+      case ExprKind::kCall:
+        return eval_call(e);
+    }
+    throw Fault{FaultKind::kInternal, "bad expression kind"};
+  }
+
+  Value member_of(const Value& base, const Expr& e) {
+    auto it = structs_.find(base.type.struct_name);
+    if (it == structs_.end()) {
+      throw Fault{FaultKind::kInternal, "member of unknown struct"};
+    }
+    const auto& fields = it->second->fields;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == e.text) {
+        if (i < base.fields.size()) return base.fields[i];
+        Value v;
+        v.type = fields[i].type;
+        return v;
+      }
+    }
+    throw Fault{FaultKind::kInternal, "missing member " + e.text};
+  }
+
+  Value eval_binary(const Expr& e) {
+    // Short-circuit forms first.
+    if (e.op == Tok::kAmpAmp) {
+      if (!truthy(eval(*e.sub[0]))) return Value::integer(0);
+      return Value::integer(truthy(eval(*e.sub[1])) ? 1 : 0);
+    }
+    if (e.op == Tok::kPipePipe) {
+      if (truthy(eval(*e.sub[0]))) return Value::integer(1);
+      return Value::integer(truthy(eval(*e.sub[1])) ? 1 : 0);
+    }
+    int64_t a = eval(*e.sub[0]).i;
+    int64_t b = eval(*e.sub[1]).i;
+    return Value::integer(apply_binop(e.op, a, b));
+  }
+
+  int64_t apply_binop(Tok op, int64_t a, int64_t b) {
+    switch (op) {
+      case Tok::kPlus: return a + b;
+      case Tok::kMinus: return a - b;
+      case Tok::kStar: return a * b;
+      case Tok::kSlash:
+        if (b == 0) throw Fault{FaultKind::kDivByZero, "division by zero"};
+        return a / b;
+      case Tok::kPercent:
+        if (b == 0) throw Fault{FaultKind::kDivByZero, "modulo by zero"};
+        return a % b;
+      case Tok::kAmp: return a & b;
+      case Tok::kPipe: return a | b;
+      case Tok::kCaret: return a ^ b;
+      case Tok::kShl:
+        if (b < 0 || b > 63) return 0;
+        return static_cast<int64_t>(static_cast<uint64_t>(a) << b);
+      case Tok::kShr:
+        if (b < 0 || b > 63) return 0;
+        // Hardware-operating C code shifts unsigned register values; use
+        // logical shift on the low 32 bits, as u32 arithmetic would.
+        return static_cast<int64_t>(
+            (static_cast<uint64_t>(a) & 0xffffffffULL) >>
+            static_cast<uint64_t>(b));
+      case Tok::kEq: return a == b;
+      case Tok::kNe: return a != b;
+      case Tok::kLt: return a < b;
+      case Tok::kGt: return a > b;
+      case Tok::kLe: return a <= b;
+      case Tok::kGe: return a >= b;
+      default:
+        throw Fault{FaultKind::kInternal, "bad binary op"};
+    }
+  }
+
+  /// Resolves an lvalue expression to a mutable Value reference, or to an
+  /// array element.
+  Value* resolve_lvalue(const Expr& e, int64_t** arr_elem) {
+    *arr_elem = nullptr;
+    switch (e.kind) {
+      case ExprKind::kIdent: {
+        Slot* slot = lookup(e.text);
+        if (!slot) throw Fault{FaultKind::kInternal, "unbound " + e.text};
+        return &slot->v;
+      }
+      case ExprKind::kMember: {
+        int64_t* dummy = nullptr;
+        Value* base = resolve_lvalue(*e.sub[0], &dummy);
+        if (!base) throw Fault{FaultKind::kInternal, "bad member lvalue"};
+        auto it = structs_.find(base->type.struct_name);
+        if (it == structs_.end()) {
+          throw Fault{FaultKind::kInternal, "member of unknown struct"};
+        }
+        const auto& fields = it->second->fields;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (fields[i].name == e.text) {
+            while (base->fields.size() <= i) {
+              base->fields.push_back(Value{});
+            }
+            base->fields[i].type = fields[i].type;
+            return &base->fields[i];
+          }
+        }
+        throw Fault{FaultKind::kInternal, "missing member " + e.text};
+      }
+      case ExprKind::kIndex: {
+        Slot* slot = lookup(e.sub[0]->text);
+        if (!slot || !slot->is_array) {
+          throw Fault{FaultKind::kInternal, "index on non-array"};
+        }
+        int64_t ix = eval(*e.sub[1]).i;
+        if (ix < 0 || static_cast<size_t>(ix) >= slot->arr.size()) {
+          throw Fault{FaultKind::kBadIndex,
+                      "out-of-bounds store to " + e.sub[0]->text};
+        }
+        *arr_elem = &slot->arr[static_cast<size_t>(ix)];
+        elem_type_ = slot->elem_type;
+        return nullptr;
+      }
+      default:
+        throw Fault{FaultKind::kInternal, "assignment to non-lvalue"};
+    }
+  }
+
+  Value eval_assign(const Expr& e) {
+    Value rhs = eval(*e.sub[1]);
+    int64_t* arr_elem = nullptr;
+    Value* target = resolve_lvalue(*e.sub[0], &arr_elem);
+
+    if (arr_elem) {
+      int64_t cur = *arr_elem;
+      int64_t next =
+          e.op == Tok::kAssign ? rhs.i : apply_binop(compound_op(e.op), cur,
+                                                     rhs.i);
+      *arr_elem = coerce_int(next, elem_type_);
+      return Value::integer(*arr_elem, elem_type_);
+    }
+
+    assert(target != nullptr);
+    if (e.op == Tok::kAssign) {
+      store_into(*target, std::move(rhs));
+    } else {
+      int64_t next = apply_binop(compound_op(e.op), target->i, rhs.i);
+      target->i = coerce_int(next, target->type);
+    }
+    return *target;
+  }
+
+  static Tok compound_op(Tok t) {
+    switch (t) {
+      case Tok::kPlusAssign: return Tok::kPlus;
+      case Tok::kMinusAssign: return Tok::kMinus;
+      case Tok::kAndAssign: return Tok::kAmp;
+      case Tok::kOrAssign: return Tok::kPipe;
+      case Tok::kXorAssign: return Tok::kCaret;
+      case Tok::kShlAssign: return Tok::kShl;
+      case Tok::kShrAssign: return Tok::kShr;
+      default:
+        throw Fault{FaultKind::kInternal, "bad compound op"};
+    }
+  }
+
+  // ---- calls ------------------------------------------------------------------
+  Value eval_call(const Expr& e) {
+    std::vector<Value> args;
+    args.reserve(e.sub.size());
+    for (const auto& a : e.sub) args.push_back(eval(*a));
+
+    if (auto b = find_builtin(e.text)) return eval_builtin(*b, e, args);
+    return call_function(e.text, std::move(args));
+  }
+
+  Value eval_builtin(Builtin b, const Expr& e, std::vector<Value>& args) {
+    switch (b) {
+      case Builtin::kInb:
+        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 8),
+                              Type::int_type(8, false));
+      case Builtin::kInw:
+        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 16),
+                              Type::int_type(16, false));
+      case Builtin::kInl:
+        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 32),
+                              Type::int_type(32, false));
+      case Builtin::kOutb:
+        io_.io_out(static_cast<uint32_t>(args[1].i),
+                   static_cast<uint32_t>(args[0].i) & 0xff, 8);
+        return Value::integer(0);
+      case Builtin::kOutw:
+        io_.io_out(static_cast<uint32_t>(args[1].i),
+                   static_cast<uint32_t>(args[0].i) & 0xffff, 16);
+        return Value::integer(0);
+      case Builtin::kOutl:
+        io_.io_out(static_cast<uint32_t>(args[1].i),
+                   static_cast<uint32_t>(args[0].i), 32);
+        return Value::integer(0);
+      case Builtin::kPanic: {
+        bool devil = support::starts_with(args[0].s, "Devil assertion");
+        std::string msg = args[0].s + " (line " + std::to_string(e.loc.line) +
+                          ")";
+        throw Fault{devil ? FaultKind::kDevilAssertion : FaultKind::kPanic,
+                    std::move(msg)};
+      }
+      case Builtin::kPrintk:
+        out_.log.push_back(args[0].s);
+        return Value::integer(0);
+      case Builtin::kStrcmp:
+        return Value::integer(args[0].s.compare(args[1].s));
+      case Builtin::kUdelay: {
+        // Burn steps proportionally so delay loops cannot dodge the budget.
+        uint64_t burn = static_cast<uint64_t>(
+            args[0].i < 0 ? 0 : (args[0].i > 10000 ? 10000 : args[0].i));
+        for (uint64_t i = 0; i < burn; ++i) step(e.loc);
+        return Value::integer(0);
+      }
+      case Builtin::kDilEq: {
+        const Value& x = args[0];
+        const Value& y = args[1];
+        if (!x.type.is_struct()) {
+          return Value::integer(x.i == y.i ? 1 : 0);  // production mode
+        }
+        // Debug mode: (filename, type) tag check, then value comparison
+        // (the dil_eq macro of paper §2.3).
+        const std::string& xf = x.fields.size() > 0 ? x.fields[0].s : "";
+        const std::string& yf = y.fields.size() > 0 ? y.fields[0].s : "";
+        int64_t xt = x.fields.size() > 1 ? x.fields[1].i : -1;
+        int64_t yt = y.fields.size() > 1 ? y.fields[1].i : -2;
+        if (xf != yf || xt != yt) {
+          throw Fault{FaultKind::kDevilAssertion,
+                      "Devil assertion failed: dil_eq type mismatch (line " +
+                          std::to_string(e.loc.line) + ")"};
+        }
+        int64_t xv = x.fields.size() > 2 ? x.fields[2].i : 0;
+        int64_t yv = y.fields.size() > 2 ? y.fields[2].i : 0;
+        return Value::integer(xv == yv ? 1 : 0);
+      }
+      case Builtin::kDilVal: {
+        const Value& x = args[0];
+        if (!x.type.is_struct()) return Value::integer(x.i);
+        return Value::integer(x.fields.size() > 2 ? x.fields[2].i : 0);
+      }
+    }
+    throw Fault{FaultKind::kInternal, "bad builtin"};
+  }
+
+  const Unit& unit_;
+  IoEnvironment& io_;
+  uint64_t steps_left_;
+  RunOutcome& out_;
+  std::map<std::string, const StructDecl*> structs_;
+  std::map<std::string, const FunctionDecl*> functions_;
+  std::map<std::string, Slot> globals_;
+  /// Call frames; each frame is a stack of block scopes.
+  std::vector<std::vector<std::map<std::string, Slot>>> frames_;
+  int depth_ = 0;
+  Type elem_type_ = Type::int_type();
+};
+
+}  // namespace
+
+Interp::Interp(const Unit& unit, IoEnvironment& io, uint64_t step_budget)
+    : unit_(unit), io_(io), step_budget_(step_budget) {}
+
+RunOutcome Interp::run(const std::string& entry) {
+  RunOutcome out;
+  Machine m(unit_, io_, step_budget_, out);
+  try {
+    m.init_globals();
+    Value result = m.call_function(entry, {});
+    out.return_value = result.i;
+  } catch (const Fault& f) {
+    out.fault = f.kind;
+    out.fault_message = f.message;
+  }
+  return out;
+}
+
+}  // namespace minic

@@ -1,0 +1,80 @@
+// Tree-walking interpreter for MiniC with the fault model that stands in for
+// "boot the mutated kernel and watch what happens" (paper §4.2).
+//
+// Outcome mapping to the paper's observed behaviours:
+//   kDevilAssertion -> "Run-time check"   (Devil assertion, faulty line known)
+//   kBusFault/kDivByZero/kBadIndex/kStackOverflow -> "Crash"
+//   kStepLimit      -> "Infinite loop"
+//   kPanic          -> "Halt" (kernel panic with a message)
+//   no fault        -> "Boot" / "Dead code" / "Damaged boot", decided by the
+//                      evaluation harness from coverage and device state.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace minic {
+
+enum class FaultKind {
+  kNone,
+  kPanic,           // explicit panic(...) — kernel halt with a message
+  kDevilAssertion,  // panic(...) whose message is a Devil assertion
+  kBusFault,        // I/O to an unmapped port or device-detected illegal use
+  kStepLimit,       // interpreter budget exhausted — infinite loop
+  kStackOverflow,
+  kDivByZero,
+  kBadIndex,
+  kInternal,        // interpreter invariant violated (a bug in this repo)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// Thrown by the interpreter and by IoEnvironment implementations.
+struct Fault {
+  FaultKind kind;
+  std::string message;
+};
+
+/// The hardware seen by `inb`/`outb`/... Implemented by hw::IoBus.
+class IoEnvironment {
+ public:
+  virtual ~IoEnvironment() = default;
+  /// width is 8, 16 or 32. May throw Fault{kBusFault} for unmapped ports.
+  virtual uint32_t io_in(uint32_t port, int width) = 0;
+  virtual void io_out(uint32_t port, uint32_t value, int width) = 0;
+};
+
+struct RunOutcome {
+  FaultKind fault = FaultKind::kNone;
+  std::string fault_message;
+  int64_t return_value = 0;
+  uint64_t steps_used = 0;
+  /// 1-based source lines on which at least one statement (or case-label
+  /// comparison) executed. Drives the "dead code" classification.
+  std::set<uint32_t> executed_lines;
+  std::vector<std::string> log;  // printk output, in order
+};
+
+class Interp {
+ public:
+  /// `unit` must have passed `typecheck`. The interpreter keeps references;
+  /// both `unit` and `io` must outlive it.
+  Interp(const Unit& unit, IoEnvironment& io,
+         uint64_t step_budget = 2'000'000);
+
+  /// (Re)initialises globals, then calls `entry` (no arguments). Returns the
+  /// outcome; never throws.
+  [[nodiscard]] RunOutcome run(const std::string& entry);
+
+ private:
+  struct Impl;
+  const Unit& unit_;
+  IoEnvironment& io_;
+  uint64_t step_budget_;
+};
+
+}  // namespace minic

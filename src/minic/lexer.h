@@ -1,0 +1,33 @@
+// MiniC lexer + object-macro preprocessor.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/token.h"
+#include "support/diagnostics.h"
+#include "support/source.h"
+
+namespace minic {
+
+/// Result of preprocessing+lexing a translation unit.
+struct LexOutput {
+  std::vector<Token> tokens;  // macro-expanded, ends with kEof
+  /// For each object macro: the source lines (1-based) where it is used.
+  /// The evaluation harness needs this to decide whether a mutation inside a
+  /// macro *definition* sits on an executed path (paper case 2, "dead code").
+  std::map<std::string, std::set<uint32_t>> macro_use_lines;
+};
+
+/// Lexes and preprocesses a MiniC translation unit.
+///
+/// Supported directives: `#define NAME <tokens to end of line>` (object
+/// macros only, possibly nested, recursion diagnosed). `__FILE__` expands to
+/// the buffer name as a string literal, which is how Devil debug stubs tag
+/// values with their origin (paper §2.3).
+[[nodiscard]] LexOutput lex_unit(const support::SourceBuffer& buf,
+                                 support::DiagnosticEngine& diags);
+
+}  // namespace minic

@@ -1,0 +1,56 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "minic/ast.h"
+#include "minic/token.h"
+#include "support/diagnostics.h"
+
+namespace minic {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+      : toks_(std::move(tokens)), diags_(diags) {}
+
+  /// Returns nullopt on the first parse error (mutants are syntactically
+  /// valid by construction, so campaign mutants never fail here).
+  [[nodiscard]] std::optional<Unit> parse();
+
+ private:
+  struct Bail {};
+
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok k) const { return peek().is(k); }
+  bool accept(Tok k);
+  void expect(Tok k, const char* ctx);
+  [[noreturn]] void fail(const char* msg);
+
+  [[nodiscard]] bool at_type() const;
+  Type parse_type();
+
+  void parse_struct(Unit& unit);
+  void parse_global_or_function(Unit& unit);
+
+  StmtPtr parse_statement();
+  StmtPtr parse_block();
+  StmtPtr parse_local_decl();
+
+  ExprPtr parse_expr() { return parse_assignment(); }
+  ExprPtr parse_assignment();
+  ExprPtr parse_conditional();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_postfix_suffixes(ExprPtr e);
+  ExprPtr parse_primary();
+
+  std::vector<Token> toks_;
+  support::DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace minic

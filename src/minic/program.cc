@@ -1,0 +1,40 @@
+#include "minic/program.h"
+
+#include "minic/lexer.h"
+#include "minic/parser.h"
+#include "minic/typecheck.h"
+
+namespace minic {
+
+Program compile(const std::string& name, const std::string& source) {
+  Program prog;
+  support::SourceBuffer buf(name, source);
+  LexOutput lexed = lex_unit(buf, prog.diags);
+  if (prog.diags.has_errors()) return prog;
+
+  Parser parser(std::move(lexed.tokens), prog.diags);
+  auto unit = parser.parse();
+  if (!unit) return prog;
+  unit->macro_use_lines = std::move(lexed.macro_use_lines);
+
+  auto owned = std::make_unique<Unit>(std::move(*unit));
+  if (!typecheck(*owned, prog.diags)) return prog;
+  prog.unit = std::move(owned);
+  return prog;
+}
+
+RunOutcome compile_and_run(const std::string& name, const std::string& source,
+                           const std::string& entry, IoEnvironment& io,
+                           uint64_t step_budget) {
+  Program prog = compile(name, source);
+  if (!prog.ok()) {
+    RunOutcome out;
+    out.fault = FaultKind::kInternal;
+    out.fault_message = "compilation failed:\n" + prog.diags.render();
+    return out;
+  }
+  Interp interp(*prog.unit, io, step_budget);
+  return interp.run(entry);
+}
+
+}  // namespace minic

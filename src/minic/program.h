@@ -1,0 +1,34 @@
+// Facade over the MiniC pipeline: preprocess+lex -> parse -> typecheck.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "minic/ast.h"
+#include "minic/interp.h"
+#include "support/diagnostics.h"
+
+namespace minic {
+
+/// A compiled translation unit ready for interpretation.
+struct Program {
+  support::DiagnosticEngine diags;
+  std::unique_ptr<Unit> unit;  // null when compilation failed
+
+  [[nodiscard]] bool ok() const { return unit != nullptr; }
+};
+
+/// Compiles one translation unit. `name` doubles as the __FILE__ expansion,
+/// so for Devil drivers pass the generated header's name.
+[[nodiscard]] Program compile(const std::string& name,
+                              const std::string& source);
+
+/// Compiles and runs `entry` against `io` in one call (tests, examples).
+[[nodiscard]] RunOutcome compile_and_run(const std::string& name,
+                                         const std::string& source,
+                                         const std::string& entry,
+                                         IoEnvironment& io,
+                                         uint64_t step_budget = 2'000'000);
+
+}  // namespace minic

@@ -1,0 +1,58 @@
+// Token model for MiniC, the C-subset substrate language.
+//
+// MiniC exists so the mutation campaigns can answer "would a C compiler
+// accept this mutant, and what happens when the kernel boots it?" without a
+// real compiler and kernel in the loop. Its lexer includes a tiny
+// preprocessor (object macros + __FILE__) because macro expansion is central
+// to the paper's argument: macros erase type distinctions in C drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source.h"
+
+namespace minic {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kIntLit,     // decimal / octal / hexadecimal
+  kStringLit,
+
+  // Keywords.
+  kKwVoid, kKwInt, kKwU8, kKwU16, kKwU32, kKwS8, kKwS16, kKwS32, kKwCString,
+  kKwStruct, kKwConst, kKwStatic, kKwInline,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwDo, kKwReturn, kKwBreak, kKwContinue,
+  kKwSwitch, kKwCase, kKwDefault,
+
+  // Punctuation.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kDot, kColon, kQuestion,
+
+  // Operators.
+  kAssign,                       // =
+  kPlusAssign, kMinusAssign,     // += -=
+  kAndAssign, kOrAssign, kXorAssign,   // &= |= ^=
+  kShlAssign, kShrAssign,        // <<= >>=
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde,
+  kShl, kShr,
+  kAmpAmp, kPipePipe, kBang,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kPlusPlus, kMinusMinus,
+};
+
+[[nodiscard]] const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  support::SourceLoc loc;       // use-site location (post macro expansion)
+  std::string text;
+  uint64_t int_value = 0;       // kIntLit
+  int int_base = 10;            // 8, 10 or 16 — drives literal mutation class
+
+  [[nodiscard]] bool is(Tok t) const { return kind == t; }
+};
+
+}  // namespace minic

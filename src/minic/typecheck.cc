@@ -1,0 +1,576 @@
+#include "minic/typecheck.h"
+
+#include <map>
+#include <sstream>
+
+#include "minic/builtins.h"
+
+namespace minic {
+
+std::optional<Builtin> find_builtin(const std::string& name) {
+  static const std::map<std::string, Builtin> table = {
+      {"inb", Builtin::kInb},       {"inw", Builtin::kInw},
+      {"inl", Builtin::kInl},       {"outb", Builtin::kOutb},
+      {"outw", Builtin::kOutw},     {"outl", Builtin::kOutl},
+      {"panic", Builtin::kPanic},   {"printk", Builtin::kPrintk},
+      {"strcmp", Builtin::kStrcmp}, {"udelay", Builtin::kUdelay},
+      {"dil_eq", Builtin::kDilEq},  {"dil_val", Builtin::kDilVal},
+  };
+  auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Type::to_string() const {
+  switch (kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kCString: return "cstring";
+    case TypeKind::kStruct: return "struct " + struct_name;
+    case TypeKind::kInt: {
+      std::ostringstream os;
+      os << (is_signed ? "s" : "u") << bits;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+struct VarEntry {
+  Type type;
+  bool is_array = false;
+  bool is_const = false;
+};
+
+class Checker {
+ public:
+  Checker(Unit& unit, support::DiagnosticEngine& diags)
+      : unit_(unit), diags_(diags) {}
+
+  bool run() {
+    int before = diags_.error_count();
+    collect_structs();
+    collect_functions();
+    check_globals();
+    for (auto& fn : unit_.functions) check_function(fn);
+    return diags_.error_count() == before;
+  }
+
+ private:
+  // ---- symbol collection ----------------------------------------------------
+  void collect_structs() {
+    for (const auto& sd : unit_.structs) {
+      if (structs_.count(sd.name)) {
+        diags_.error("MC111", sd.loc, "struct '" + sd.name + "' redefined");
+        continue;
+      }
+      structs_[sd.name] = &sd;
+      for (const auto& f : sd.fields) validate_type(f.type, f.loc);
+    }
+  }
+
+  void collect_functions() {
+    for (const auto& fn : unit_.functions) {
+      if (find_builtin(fn.name)) {
+        diags_.error("MC111", fn.loc,
+                     "function '" + fn.name + "' shadows a builtin");
+        continue;
+      }
+      if (functions_.count(fn.name)) {
+        diags_.error("MC111", fn.loc, "function '" + fn.name + "' redefined");
+        continue;
+      }
+      functions_[fn.name] = &fn;
+      validate_type(fn.return_type, fn.loc);
+      for (const auto& p : fn.params) validate_type(p.type, p.loc);
+    }
+  }
+
+  void validate_type(const Type& t, support::SourceLoc loc) {
+    if (t.kind == TypeKind::kStruct && !structs_.count(t.struct_name)) {
+      diags_.error("MC112", loc, "unknown type '" + t.struct_name + "'");
+    }
+  }
+
+  void check_globals() {
+    for (auto& g : unit_.globals) {
+      validate_type(g.type, g.loc);
+      if (globals_.count(g.name) || functions_.count(g.name)) {
+        diags_.error("MC111", g.loc, "'" + g.name + "' redefined");
+        continue;
+      }
+      if (g.init) {
+        Type t = check_expr(*g.init);
+        require_assignable(g.type, t, g.loc, "global initialiser");
+      }
+      if (!g.init_list.empty()) {
+        if (!g.type.is_struct()) {
+          diags_.error("MC106", g.loc,
+                       "brace initialiser on a non-struct global");
+        } else if (auto it = structs_.find(g.type.struct_name);
+                   it != structs_.end()) {
+          const StructDecl& sd = *it->second;
+          if (g.init_list.size() != sd.fields.size()) {
+            diags_.error("MC106", g.loc,
+                         "initialiser count does not match struct fields");
+          } else {
+            for (size_t i = 0; i < g.init_list.size(); ++i) {
+              Type t = check_expr(*g.init_list[i]);
+              require_assignable(sd.fields[i].type, t, g.loc,
+                                 "struct initialiser");
+            }
+          }
+        }
+      }
+      globals_[g.name] = VarEntry{g.type, g.array_size.has_value(), g.is_const};
+    }
+  }
+
+  // ---- scopes -----------------------------------------------------------------
+  VarEntry* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    auto g = globals_.find(name);
+    return g == globals_.end() ? nullptr : &g->second;
+  }
+
+  void declare_local(const std::string& name, VarEntry entry,
+                     support::SourceLoc loc) {
+    if (scopes_.back().count(name)) {
+      diags_.error("MC111", loc, "variable '" + name + "' redefined");
+      return;
+    }
+    scopes_.back()[name] = std::move(entry);
+  }
+
+  // ---- functions / statements ---------------------------------------------------
+  void check_function(FunctionDecl& fn) {
+    current_fn_ = &fn;
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (const auto& p : fn.params) {
+      declare_local(p.name, VarEntry{p.type, false, false}, p.loc);
+    }
+    check_stmt(*fn.body);
+    scopes_.clear();
+    current_fn_ = nullptr;
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kEmpty:
+        return;
+      case StmtKind::kExpr:
+        check_expr(*s.expr[0]);
+        return;
+      case StmtKind::kDecl: {
+        validate_type(s.decl_type, s.loc);
+        if (!s.expr.empty()) {
+          Type t = check_expr(*s.expr[0]);
+          require_assignable(s.decl_type, t, s.loc, "initialiser");
+        }
+        declare_local(s.decl_name,
+                      VarEntry{s.decl_type, s.array_size.has_value(), false},
+                      s.loc);
+        return;
+      }
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (auto& child : s.body) check_stmt(*child);
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::kIf: {
+        require_scalar(check_expr(*s.expr[0]), s.expr[0]->loc);
+        check_stmt(*s.body[0]);
+        if (s.body.size() > 1) check_stmt(*s.body[1]);
+        return;
+      }
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile: {
+        require_scalar(check_expr(*s.expr[0]), s.expr[0]->loc);
+        check_stmt(*s.body[0]);
+        return;
+      }
+      case StmtKind::kFor: {
+        scopes_.emplace_back();
+        if (s.body.size() > 1 && s.body[1]) check_stmt(*s.body[1]);
+        if (!s.expr.empty())
+          require_scalar(check_expr(*s.expr[0]), s.expr[0]->loc);
+        if (s.expr.size() > 1) check_expr(*s.expr[1]);
+        check_stmt(*s.body[0]);
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::kReturn: {
+        const Type& want = current_fn_->return_type;
+        if (s.expr.empty()) {
+          if (want.kind != TypeKind::kVoid) {
+            diags_.error("MC109", s.loc,
+                         "non-void function returns no value");
+          }
+        } else {
+          Type t = check_expr(*s.expr[0]);
+          if (want.kind == TypeKind::kVoid) {
+            diags_.error("MC109", s.loc, "void function returns a value");
+          } else {
+            require_assignable(want, t, s.loc, "return value");
+          }
+        }
+        return;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        return;
+      case StmtKind::kSwitch: {
+        Type t = check_expr(*s.expr[0]);
+        if (!t.is_integer()) {
+          diags_.error("MC115", s.expr[0]->loc,
+                       "switch operand must have integer type, not " +
+                           t.to_string());
+        }
+        for (auto& c : s.cases) {
+          if (c.value) {
+            Type ct = check_expr(*c.value);
+            if (!ct.is_integer()) {
+              diags_.error("MC115", c.loc,
+                           "case value must have integer type, not " +
+                               ct.to_string());
+            }
+          }
+          scopes_.emplace_back();
+          for (auto& child : c.body) check_stmt(*child);
+          scopes_.pop_back();
+        }
+        return;
+      }
+    }
+  }
+
+  // ---- expression checking ------------------------------------------------------
+  void require_scalar(const Type& t, support::SourceLoc loc) {
+    if (!t.is_integer()) {
+      diags_.error("MC108", loc,
+                   "condition must have scalar type, not " + t.to_string());
+    }
+  }
+
+  void require_assignable(const Type& to, const Type& from,
+                          support::SourceLoc loc, const char* what) {
+    if (to.is_integer() && from.is_integer()) return;  // C converts freely
+    if (to.same_as(from)) return;
+    diags_.error("MC106", loc,
+                 std::string("incompatible types in ") + what + ": cannot "
+                     "convert " +
+                     from.to_string() + " to " + to.to_string());
+  }
+
+  bool is_lvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdent:
+        return true;
+      case ExprKind::kMember:
+      case ExprKind::kIndex:
+        return is_lvalue(*e.sub[0]) || e.sub[0]->kind == ExprKind::kIndex;
+      default:
+        return false;
+    }
+  }
+
+  Type check_expr(Expr& e) {
+    Type t = check_expr_inner(e);
+    e.type = t;
+    return t;
+  }
+
+  Type check_expr_inner(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return Type::int_type(32, true);
+      case ExprKind::kStringLit:
+        return Type::cstring();
+      case ExprKind::kIdent: {
+        VarEntry* v = lookup(e.text);
+        if (!v) {
+          diags_.error("MC100", e.loc,
+                       "'" + e.text + "' undeclared (first use)");
+          return Type::int_type();
+        }
+        return v->type;
+      }
+      case ExprKind::kUnary: {
+        Type t = check_expr(*e.sub[0]);
+        if (!t.is_integer()) {
+          diags_.error("MC107", e.loc,
+                       std::string("invalid operand of type ") +
+                           t.to_string() + " to unary operator");
+        }
+        return Type::int_type(32, true);
+      }
+      case ExprKind::kBinary: {
+        Type a = check_expr(*e.sub[0]);
+        Type b = check_expr(*e.sub[1]);
+        // C allows == on matching struct? No: "invalid operands to binary
+        // ==". Every binary operator requires integer operands here
+        // (cstring comparison also rejected, matching gcc for struct/ptr
+        // mixes the mutations can produce).
+        if (!a.is_integer() || !b.is_integer()) {
+          diags_.error("MC107", e.loc,
+                       "invalid operands to binary operator (" +
+                           a.to_string() + " and " + b.to_string() + ")");
+        }
+        return Type::int_type(32, true);
+      }
+      case ExprKind::kAssign: {
+        Type to = check_expr(*e.sub[0]);
+        Type from = check_expr(*e.sub[1]);
+        if (!is_lvalue(*e.sub[0])) {
+          diags_.error("MC114", e.loc, "assignment to non-lvalue");
+        }
+        if (e.sub[0]->kind == ExprKind::kIdent) {
+          if (VarEntry* v = lookup(e.sub[0]->text); v && v->is_const) {
+            diags_.error("MC114", e.loc,
+                         "assignment of read-only variable '" +
+                             e.sub[0]->text + "'");
+          }
+        }
+        if (e.op != Tok::kAssign) {
+          // Compound assignment demands integer operands.
+          if (!to.is_integer() || !from.is_integer()) {
+            diags_.error("MC107", e.loc,
+                         "invalid operands to compound assignment (" +
+                             to.to_string() + " and " + from.to_string() +
+                             ")");
+          }
+        } else {
+          require_assignable(to, from, e.loc, "assignment");
+        }
+        return to;
+      }
+      case ExprKind::kCond: {
+        require_scalar(check_expr(*e.sub[0]), e.sub[0]->loc);
+        Type a = check_expr(*e.sub[1]);
+        Type b = check_expr(*e.sub[2]);
+        if (a.is_integer() && b.is_integer()) return Type::int_type();
+        if (a.same_as(b)) return a;
+        diags_.error("MC106", e.loc,
+                     "type mismatch in conditional expression (" +
+                         a.to_string() + " vs " + b.to_string() + ")");
+        return a;
+      }
+      case ExprKind::kMember: {
+        Type base = check_expr(*e.sub[0]);
+        if (!base.is_struct()) {
+          diags_.error("MC104", e.loc,
+                       "request for member '" + e.text +
+                           "' in something not a structure (" +
+                           base.to_string() + ")");
+          return Type::int_type();
+        }
+        auto it = structs_.find(base.struct_name);
+        if (it == structs_.end()) return Type::int_type();
+        for (const auto& f : it->second->fields) {
+          if (f.name == e.text) return f.type;
+        }
+        diags_.error("MC105", e.loc,
+                     "'struct " + base.struct_name + "' has no member named '" +
+                         e.text + "'");
+        return Type::int_type();
+      }
+      case ExprKind::kIndex: {
+        if (e.sub[0]->kind != ExprKind::kIdent) {
+          diags_.error("MC110", e.loc, "subscripted value is not an array");
+          check_expr(*e.sub[1]);
+          return Type::int_type();
+        }
+        VarEntry* v = lookup(e.sub[0]->text);
+        if (!v) {
+          diags_.error("MC100", e.sub[0]->loc,
+                       "'" + e.sub[0]->text + "' undeclared (first use)");
+        } else if (!v->is_array) {
+          diags_.error("MC110", e.loc,
+                       "subscripted value '" + e.sub[0]->text +
+                           "' is not an array");
+        }
+        e.sub[0]->type = v ? v->type : Type::int_type();
+        Type ix = check_expr(*e.sub[1]);
+        if (!ix.is_integer()) {
+          diags_.error("MC110", e.sub[1]->loc,
+                       "array subscript is not an integer");
+        }
+        return v ? v->type : Type::int_type();
+      }
+      case ExprKind::kCast: {
+        validate_type(e.cast_type, e.loc);
+        Type from = check_expr(*e.sub[0]);
+        // C rejects casts to/from struct types.
+        if (e.cast_type.is_struct() || from.is_struct()) {
+          if (!e.cast_type.same_as(from)) {
+            diags_.error("MC106", e.loc,
+                         "conversion to non-scalar type requested (" +
+                             from.to_string() + " to " +
+                             e.cast_type.to_string() + ")");
+          }
+        }
+        return e.cast_type;
+      }
+      case ExprKind::kCall:
+        return check_call(e);
+    }
+    return Type::int_type();
+  }
+
+  Type check_call(Expr& e) {
+    if (e.text.empty()) {
+      // Non-identifier callee (sub[0]); always a constraint violation.
+      for (auto& a : e.sub) check_expr(*a);
+      diags_.error("MC117", e.loc,
+                   "called object is not a function or function pointer");
+      return Type::int_type();
+    }
+    std::vector<Type> args;
+    args.reserve(e.sub.size());
+    for (auto& a : e.sub) args.push_back(check_expr(*a));
+
+    if (auto b = find_builtin(e.text)) {
+      return check_builtin_call(e, *b, args);
+    }
+
+    auto it = functions_.find(e.text);
+    if (it == functions_.end()) {
+      // Implicit declaration was a warning in C90 but calling an undefined
+      // function fails at link time; either way the developer is told at
+      // build time, so we classify it as a compile-time catch.
+      diags_.error("MC101", e.loc,
+                   "implicit declaration / undefined function '" + e.text +
+                       "'");
+      return Type::int_type();
+    }
+    const FunctionDecl& fn = *it->second;
+    if (args.size() != fn.params.size()) {
+      std::ostringstream os;
+      os << "function '" << e.text << "' expects " << fn.params.size()
+         << " argument(s), got " << args.size();
+      diags_.error("MC102", e.loc, os.str());
+      return fn.return_type;
+    }
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (fn.params[i].type.is_integer() && args[i].is_integer()) continue;
+      if (fn.params[i].type.same_as(args[i])) continue;
+      std::ostringstream os;
+      os << "incompatible type for argument " << (i + 1) << " of '" << e.text
+         << "': expected " << fn.params[i].type.to_string() << ", got "
+         << args[i].to_string();
+      diags_.error("MC103", e.loc, os.str());
+    }
+    return fn.return_type;
+  }
+
+  Type check_builtin_call(Expr& e, Builtin b, const std::vector<Type>& args) {
+    auto arity = [&](size_t n) {
+      if (args.size() == n) return true;
+      std::ostringstream os;
+      os << "builtin '" << e.text << "' expects " << n << " argument(s), got "
+         << args.size();
+      diags_.error("MC102", e.loc, os.str());
+      return false;
+    };
+    auto integer_arg = [&](size_t i) {
+      if (i < args.size() && !args[i].is_integer()) {
+        std::ostringstream os;
+        os << "argument " << (i + 1) << " of '" << e.text
+           << "' must be an integer, got " << args[i].to_string();
+        diags_.error("MC103", e.loc, os.str());
+      }
+    };
+    auto cstring_arg = [&](size_t i) {
+      if (i < args.size() && args[i].kind != TypeKind::kCString) {
+        std::ostringstream os;
+        os << "argument " << (i + 1) << " of '" << e.text
+           << "' must be a string, got " << args[i].to_string();
+        diags_.error("MC103", e.loc, os.str());
+      }
+    };
+
+    switch (b) {
+      case Builtin::kInb:
+        if (arity(1)) integer_arg(0);
+        return Type::int_type(8, false);
+      case Builtin::kInw:
+        if (arity(1)) integer_arg(0);
+        return Type::int_type(16, false);
+      case Builtin::kInl:
+        if (arity(1)) integer_arg(0);
+        return Type::int_type(32, false);
+      case Builtin::kOutb:
+      case Builtin::kOutw:
+      case Builtin::kOutl:
+        if (arity(2)) {
+          integer_arg(0);
+          integer_arg(1);
+        }
+        return Type::void_type();
+      case Builtin::kPanic:
+      case Builtin::kPrintk:
+        if (arity(1)) cstring_arg(0);
+        return Type::void_type();
+      case Builtin::kStrcmp:
+        if (arity(2)) {
+          cstring_arg(0);
+          cstring_arg(1);
+        }
+        return Type::int_type();
+      case Builtin::kUdelay:
+        if (arity(1)) integer_arg(0);
+        return Type::void_type();
+      case Builtin::kDilEq:
+        // Models `x.filename/x.type/x.val` macro expansion: both operands
+        // must be structs (any struct type — a cross-type comparison only
+        // fails at run time via the type tag), or both plain integers (the
+        // production-mode expansion `x == y`). A struct/integer mix expands
+        // to a member access on a non-struct: compile-time error.
+        if (arity(2)) {
+          bool a_struct = args[0].is_struct();
+          bool b_struct = args[1].is_struct();
+          if (a_struct != b_struct) {
+            diags_.error("MC104", e.loc,
+                         "dil_eq: request for member 'val' in something not "
+                         "a structure (" +
+                             args[a_struct ? 1 : 0].to_string() + ")");
+          } else if (!a_struct &&
+                     (!args[0].is_integer() || !args[1].is_integer())) {
+            diags_.error("MC103", e.loc, "dil_eq: invalid operand types");
+          }
+        }
+        return Type::int_type();
+      case Builtin::kDilVal:
+        // Production mode: identity on integers. Debug mode: `.val` field.
+        if (arity(1)) {
+          if (!args[0].is_integer() && !args[0].is_struct()) {
+            diags_.error("MC103", e.loc, "dil_val: invalid operand type");
+          }
+        }
+        return Type::int_type();
+    }
+    return Type::int_type();
+  }
+
+  Unit& unit_;
+  support::DiagnosticEngine& diags_;
+  std::map<std::string, const StructDecl*> structs_;
+  std::map<std::string, const FunctionDecl*> functions_;
+  std::map<std::string, VarEntry> globals_;
+  std::vector<std::map<std::string, VarEntry>> scopes_;
+  const FunctionDecl* current_fn_ = nullptr;
+};
+
+}  // namespace
+
+bool typecheck(Unit& unit, support::DiagnosticEngine& diags) {
+  return Checker(unit, diags).run();
+}
+
+}  // namespace minic

@@ -1,0 +1,21 @@
+// C-permissive type checker for MiniC.
+//
+// Faithfulness to C is the design goal, because "does the mutant compile?"
+// must have the same answer gcc would give (paper §3.3):
+//  - every integer type converts implicitly to every other integer type;
+//  - macros were already expanded by the lexer, so a register-name macro and
+//    a command-byte macro are indistinguishable integers here;
+//  - struct types are nominal and never convert — the single hook that the
+//    Devil debug stubs exploit to surface typos at compile time.
+#pragma once
+
+#include "minic/ast.h"
+#include "support/diagnostics.h"
+
+namespace minic {
+
+/// Checks `unit` in place (annotates Expr::type). Returns true when the unit
+/// is well-typed. All problems are reported through `diags` with MC1xx codes.
+[[nodiscard]] bool typecheck(Unit& unit, support::DiagnosticEngine& diags);
+
+}  // namespace minic

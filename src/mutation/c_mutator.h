@@ -1,0 +1,59 @@
+// Mutation operators for C / CDevil code (paper §3.1, §3.3, Table 1).
+//
+// Sites are collected only inside regions delimited by the comments
+//   /* MUT_BEGIN */ ... /* MUT_END */
+// which play the role of the paper's manual tags marking the hardware
+// operating code (plain C driver) or the CDevil call sites (Devil driver).
+// `#define` bodies inside a region are mutated too (port and command macros
+// are precisely where hex typos live).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mutation/site.h"
+
+namespace mutation {
+
+/// One row of Table 1: a C operator and its mutant spellings.
+struct OperatorRule {
+  std::string op;
+  std::vector<std::string> mutants;
+};
+
+/// Mutation rules for C operators — our reconstruction of the paper's
+/// Table 1 (bit-manipulation confusions plus the &/&& family).
+[[nodiscard]] const std::vector<OperatorRule>& c_operator_rules();
+
+struct CScanOptions {
+  bool whole_file = false;  // ignore MUT markers (tests)
+  /// Identifier classes eligible for identifier mutation.
+  IdentifierClasses classes;
+};
+
+/// Scans `source` and returns every mutable site, in source order. Sites of
+/// kind kIdentifier are only emitted for identifiers that belong to a class
+/// with at least one alternative member.
+[[nodiscard]] std::vector<Site> scan_c_sites(const std::string& source,
+                                             const CScanOptions& options);
+
+/// Enumerates every mutant for `sites` (the full set; the campaign applies
+/// the paper's 25% sampling on top).
+[[nodiscard]] std::vector<Mutant> generate_c_mutants(
+    const std::vector<Site>& sites, const IdentifierClasses& classes);
+
+/// Builds the identifier classes for a classic C driver: every `#define`
+/// name in `source` joins the single class "macro" (§3.3: macros all look
+/// like integers to the compiler, so any macro can be confused with any
+/// other).
+[[nodiscard]] IdentifierClasses classes_for_c_driver(
+    const std::string& source);
+
+/// Builds the identifier classes for a CDevil driver: stub get/set function
+/// names, Devil value constants and Devil type names are each their own
+/// class (§3.3: "mutations for these identifiers are always performed within
+/// the same semantic class"), and the driver's own macros join "macro".
+[[nodiscard]] IdentifierClasses classes_for_cdevil_driver(
+    const std::string& stubs, const std::string& driver);
+
+}  // namespace mutation

@@ -1,0 +1,37 @@
+// Mutation operators for Devil specifications (paper §3.2).
+//
+// Three operator families, all class-preserving:
+//  - literals: decimal/hex constants and bit strings, mutated within their
+//    own character class (mask strings over {0,1,*,.}, enum patterns over
+//    {0,1});
+//  - operators: "," <-> ".." inside integer-set/range braces, and the type
+//    mapping arrows "<=", "=>", "<=>" among themselves;
+//  - identifiers: port/register/variable names at *use* sites, replaced by
+//    another name of the same class (never at the declaration site).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mutation/site.h"
+
+namespace mutation {
+
+/// Names declared by the specification, used to classify identifier sites.
+/// Obtainable from a successful `devil::check_spec` or supplied by hand.
+struct DevilNames {
+  std::vector<std::string> ports;
+  std::vector<std::string> registers;
+  std::vector<std::string> variables;
+};
+
+/// Scans a Devil specification for mutation sites (whole file — a
+/// specification is hardware-operating knowledge end to end).
+[[nodiscard]] std::vector<Site> scan_devil_sites(const std::string& source,
+                                                 const DevilNames& names);
+
+/// Enumerates every mutant for `sites`.
+[[nodiscard]] std::vector<Mutant> generate_devil_mutants(
+    const std::vector<Site>& sites, const DevilNames& names);
+
+}  // namespace mutation

@@ -1,0 +1,47 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace support {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << loc.line << ':' << loc.column << ": " << severity_name(severity) << ' '
+     << code << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, std::string code, SourceLoc loc,
+                              std::string msg) {
+  if (sev == Severity::kError) ++error_count_;
+  diags_.push_back(Diagnostic{sev, std::move(code), loc, std::move(msg)});
+}
+
+bool DiagnosticEngine::has_code(std::string_view code) const {
+  for (const auto& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace support

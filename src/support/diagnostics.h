@@ -1,0 +1,58 @@
+// Diagnostic collection shared by the Devil compiler and the MiniC front end.
+//
+// Every semantic rule has a stable code (e.g. "DVL210") so tests can assert
+// that a given mutant is rejected by the *intended* check rather than by an
+// incidental one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source.h"
+
+namespace support {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // stable rule identifier, e.g. "DVL210", "MC042"
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Accumulates diagnostics for one compilation. Not thread-safe; one engine
+/// per compile.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, std::string code, SourceLoc loc, std::string msg);
+  void error(std::string code, SourceLoc loc, std::string msg) {
+    report(Severity::kError, std::move(code), loc, std::move(msg));
+  }
+  void warning(std::string code, SourceLoc loc, std::string msg) {
+    report(Severity::kWarning, std::move(code), loc, std::move(msg));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] int error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// True if any error carries the given rule code.
+  [[nodiscard]] bool has_code(std::string_view code) const;
+
+  /// One line per diagnostic, suitable for test output and CLI tools.
+  [[nodiscard]] std::string render() const;
+
+  void clear() {
+    diags_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace support

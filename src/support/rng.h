@@ -1,0 +1,47 @@
+// Deterministic RNG used for the seeded 25% mutant sampling (paper §4.2).
+// SplitMix64: tiny, fast, and reproducible across platforms, which std::
+// distributions are not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace support {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) {
+    // Rejection-free modulo is fine here: bounds are tiny vs 2^64 so the
+    // bias is < 2^-50 and determinism matters more than perfection.
+    return next() % bound;
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return next_below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministically selects ~`percent`% of indices [0, n).
+inline std::vector<size_t> sample_indices(size_t n, unsigned percent,
+                                          uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.chance(percent, 100)) keep.push_back(i);
+  }
+  return keep;
+}
+
+}  // namespace support

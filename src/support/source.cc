@@ -1,0 +1,24 @@
+#include "support/source.h"
+
+#include <algorithm>
+
+namespace support {
+
+std::string_view SourceBuffer::line_containing(SourceLoc loc) const {
+  std::string_view t = text_;
+  if (loc.offset > t.size()) return {};
+  size_t begin = t.rfind('\n', loc.offset == 0 ? 0 : loc.offset - 1);
+  begin = (begin == std::string_view::npos) ? 0 : begin + 1;
+  size_t end = t.find('\n', loc.offset);
+  if (end == std::string_view::npos) end = t.size();
+  if (begin > end) begin = end;
+  return t.substr(begin, end - begin);
+}
+
+int SourceBuffer::line_count() const {
+  int n = static_cast<int>(std::count(text_.begin(), text_.end(), '\n'));
+  if (!text_.empty() && text_.back() != '\n') ++n;
+  return n;
+}
+
+}  // namespace support

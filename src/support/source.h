@@ -1,0 +1,52 @@
+// Source buffers and locations shared by the Devil and MiniC front ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace support {
+
+/// A location within a named source buffer. Lines and columns are 1-based;
+/// `offset` is the 0-based byte offset into the buffer (used by the mutation
+/// engine to splice mutants).
+struct SourceLoc {
+  uint32_t offset = 0;
+  uint32_t line = 1;
+  uint32_t column = 1;
+
+  bool operator==(const SourceLoc&) const = default;
+};
+
+/// Half-open byte range [begin, end) within a single buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] uint32_t size() const { return end.offset - begin.offset; }
+};
+
+/// An immutable named source text. Owns its contents; hands out views.
+class SourceBuffer {
+ public:
+  SourceBuffer(std::string name, std::string text)
+      : name_(std::move(name)), text_(std::move(text)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+  [[nodiscard]] std::string_view slice(SourceRange r) const {
+    return std::string_view(text_).substr(r.begin.offset, r.size());
+  }
+
+  /// Extracts the full source line containing `loc` (for diagnostics).
+  [[nodiscard]] std::string_view line_containing(SourceLoc loc) const;
+
+  /// Number of newline-terminated (or trailing) lines.
+  [[nodiscard]] int line_count() const;
+
+ private:
+  std::string name_;
+  std::string text_;
+};
+
+}  // namespace support

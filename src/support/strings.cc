@@ -1,0 +1,55 @@
+#include "support/strings.h"
+
+#include <cctype>
+
+namespace support {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t nl = s.find('\n', start);
+    if (nl == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return out;
+}
+
+int count_code_lines(std::string_view s) {
+  int n = 0;
+  for (const auto& line : split_lines(s)) {
+    size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) continue;                       // blank
+    if (line.compare(i, 2, "//") == 0) continue;          // comment-only
+    ++n;
+  }
+  return n;
+}
+
+std::string splice(std::string_view text, size_t offset, size_t len,
+                   std::string_view replacement) {
+  std::string out;
+  out.reserve(text.size() - len + replacement.size());
+  out.append(text.substr(0, offset));
+  out.append(replacement);
+  out.append(text.substr(offset + len));
+  return out;
+}
+
+}  // namespace support

@@ -1,0 +1,22 @@
+// Small string helpers shared across front ends.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace support {
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view s);
+
+/// Counts non-blank, non-comment-only lines ("//" comments), the measure the
+/// paper uses for specification sizes in Table 2.
+[[nodiscard]] int count_code_lines(std::string_view s);
+
+/// Replaces the byte range [offset, offset+len) of `text` with `replacement`.
+[[nodiscard]] std::string splice(std::string_view text, size_t offset,
+                                 size_t len, std::string_view replacement);
+
+}  // namespace support

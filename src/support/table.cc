@@ -1,0 +1,53 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace support {
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << hline() << line(header_) << hline();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      os << hline();
+    }
+    os << line(rows_[r]);
+  }
+  os << hline();
+  return os.str();
+}
+
+std::string percent(size_t num, size_t den) {
+  if (den == 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %%",
+                100.0 * static_cast<double>(num) / static_cast<double>(den));
+  return buf;
+}
+
+}  // namespace support

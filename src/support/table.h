@@ -1,0 +1,31 @@
+// Plain-text table renderer used by the bench binaries to print the paper's
+// tables in a comparable layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void add_separator() { separators_.push_back(rows_.size()); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;
+};
+
+/// Formats `num/den` as a percentage with one decimal, e.g. "26.7 %".
+std::string percent(size_t num, size_t den);
+
+}  // namespace support

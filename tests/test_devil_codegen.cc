@@ -1,0 +1,201 @@
+// Tests for the Devil stub generator: the generated MiniC must compile, and
+// debug stubs must have the paper's Fig. 4 structure.
+#include <gtest/gtest.h>
+
+#include "corpus/specs.h"
+#include "devil/compiler.h"
+#include "minic/program.h"
+
+namespace {
+
+std::string stubs_for(const std::string& spec, devil::CodegenMode mode) {
+  auto r = devil::compile_spec("test.dil", spec, mode);
+  EXPECT_TRUE(r.ok()) << r.diags.render();
+  return r.stubs;
+}
+
+class CodegenModeTest : public ::testing::TestWithParam<devil::CodegenMode> {};
+
+INSTANTIATE_TEST_SUITE_P(BothModes, CodegenModeTest,
+                         ::testing::Values(devil::CodegenMode::kProduction,
+                                           devil::CodegenMode::kDebug),
+                         [](const auto& info) {
+                           return info.param == devil::CodegenMode::kDebug
+                                      ? "debug"
+                                      : "production";
+                         });
+
+TEST_P(CodegenModeTest, EveryCorpusSpecGeneratesCompilableStubs) {
+  for (const auto& spec : corpus::all_specs()) {
+    auto r = devil::compile_spec(spec.file, spec.text, GetParam());
+    ASSERT_TRUE(r.ok()) << spec.name << "\n" << r.diags.render();
+    minic::Program prog = minic::compile(spec.file, r.stubs);
+    EXPECT_TRUE(prog.ok()) << spec.name << "\n" << prog.diags.render();
+  }
+}
+
+TEST_P(CodegenModeTest, GeneratesInitAndRegisterStubs) {
+  std::string stubs = stubs_for(corpus::busmouse_spec(), GetParam());
+  EXPECT_NE(stubs.find("void devil_init(u32 base)"), std::string::npos);
+  EXPECT_NE(stubs.find("reg_get_sig_reg"), std::string::npos);
+  EXPECT_NE(stubs.find("reg_set_cr"), std::string::npos);
+}
+
+TEST_P(CodegenModeTest, PreActionsAppearBeforePortRead) {
+  std::string stubs = stubs_for(corpus::busmouse_spec(), GetParam());
+  size_t stub = stubs.find("reg_get_x_high");
+  ASSERT_NE(stub, std::string::npos);
+  size_t pre = stubs.find("devil_raw_set_index(0x1)", stub);
+  size_t io = stubs.find("inb(devil_port_base", stub);
+  ASSERT_NE(pre, std::string::npos);
+  ASSERT_NE(io, std::string::npos);
+  EXPECT_LT(pre, io);  // index must be selected before the port access
+}
+
+TEST_P(CodegenModeTest, PrivateVariablesGetNoPublicApi) {
+  std::string stubs = stubs_for(corpus::busmouse_spec(), GetParam());
+  EXPECT_EQ(stubs.find("get_index("), std::string::npos);
+  EXPECT_EQ(stubs.find(" set_index("), std::string::npos);
+  EXPECT_NE(stubs.find("devil_raw_set_index"), std::string::npos);
+}
+
+TEST(DevilCodegen, ProductionEnumValuesAreMacros) {
+  std::string stubs =
+      stubs_for(corpus::ide_spec(), devil::CodegenMode::kProduction);
+  EXPECT_NE(stubs.find("#define MASTER 0x0"), std::string::npos);
+  EXPECT_NE(stubs.find("#define SLAVE 0x1"), std::string::npos);
+  EXPECT_NE(stubs.find("#define Drive_t u8"), std::string::npos);
+}
+
+TEST(DevilCodegen, DebugEnumValuesAreTaggedStructs) {
+  // The Fig. 4 shape: a distinct struct per Devil type, constants carrying
+  // (filename, type-id, value).
+  std::string stubs = stubs_for(corpus::ide_spec(), devil::CodegenMode::kDebug);
+  EXPECT_NE(stubs.find("struct Drive_t { cstring filename; int type; u32 val; };"),
+            std::string::npos);
+  EXPECT_NE(stubs.find("const Drive_t MASTER = { __FILE__,"), std::string::npos);
+  EXPECT_NE(stubs.find("const Drive_t SLAVE = { __FILE__,"), std::string::npos);
+}
+
+TEST(DevilCodegen, DebugStructTypesAreDistinctPerVariable) {
+  std::string stubs = stubs_for(corpus::ide_spec(), devil::CodegenMode::kDebug);
+  EXPECT_NE(stubs.find("struct Busy_t"), std::string::npos);
+  EXPECT_NE(stubs.find("struct Command_t"), std::string::npos);
+  // Distinct type ids: the constants of different types carry different tags.
+  size_t master = stubs.find("const Drive_t MASTER = { __FILE__, ");
+  size_t busy = stubs.find("const Busy_t BUSY = { __FILE__, ");
+  ASSERT_NE(master, std::string::npos);
+  ASSERT_NE(busy, std::string::npos);
+  std::string master_id = stubs.substr(master + 34, 3);
+  std::string busy_id = stubs.substr(busy + 32, 3);
+  EXPECT_NE(master_id, busy_id);
+}
+
+TEST(DevilCodegen, DebugIntSetGetterAsserts) {
+  auto r = devil::compile_spec(
+      "t.dil",
+      "device d (p : bit[8] port @ {0..0}) {"
+      " register r = p @ 0, mask '******..' : bit[8];"
+      " variable v = r[1..0] : int{0,2,3}; }",
+      devil::CodegenMode::kDebug);
+  ASSERT_TRUE(r.ok()) << r.diags.render();
+  // Paper §2.3: "the stub for reading a variable of type int{0,2,3} contains
+  // an assertion that verifies..."
+  EXPECT_NE(r.stubs.find("acc == 0x0 || acc == 0x2 || acc == 0x3"),
+            std::string::npos);
+  EXPECT_NE(r.stubs.find("Devil assertion"), std::string::npos);
+}
+
+TEST(DevilCodegen, ProductionIntSetGetterDoesNotAssert) {
+  auto r = devil::compile_spec(
+      "t.dil",
+      "device d (p : bit[8] port @ {0..0}) {"
+      " register r = p @ 0, mask '******..' : bit[8];"
+      " variable v = r[1..0] : int{0,2,3}; }",
+      devil::CodegenMode::kProduction);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.stubs.find("Devil assertion"), std::string::npos);
+}
+
+TEST(DevilCodegen, DebugMaskConformanceCheckOnRead) {
+  std::string stubs = stubs_for(corpus::ide_spec(), devil::CodegenMode::kDebug);
+  // select_reg has mask '1.1.....': fixed bits 7 and 5 -> 0xa0.
+  EXPECT_NE(stubs.find("violates its mask specification"), std::string::npos);
+  EXPECT_NE(stubs.find("(v & 0xa0) != 0xa0"), std::string::npos);
+}
+
+TEST(DevilCodegen, WriteStubForcesFixedMaskBits) {
+  std::string stubs =
+      stubs_for(corpus::ide_spec(), devil::CodegenMode::kProduction);
+  size_t stub = stubs.find("reg_set_select_reg");
+  ASSERT_NE(stub, std::string::npos);
+  // keep = relevant-or-star bits (0x5f), forced ones = 0xa0.
+  EXPECT_NE(stubs.find("v = (v & 0x5f) | 0xa0;", stub), std::string::npos);
+}
+
+TEST(DevilCodegen, ConcatenatedVariableReadsAllRegisters) {
+  std::string stubs =
+      stubs_for(corpus::busmouse_spec(), devil::CodegenMode::kProduction);
+  size_t raw = stubs.find("devil_raw_get_dx");
+  ASSERT_NE(raw, std::string::npos);
+  size_t end = stubs.find("}", raw);
+  std::string body = stubs.substr(raw, end - raw);
+  EXPECT_NE(body.find("reg_get_x_high"), std::string::npos);
+  EXPECT_NE(body.find("reg_get_x_low"), std::string::npos);
+}
+
+TEST(DevilCodegen, SignedGetterSignExtends) {
+  std::string stubs =
+      stubs_for(corpus::busmouse_spec(), devil::CodegenMode::kProduction);
+  size_t getter = stubs.find("get_dx()");
+  ASSERT_NE(getter, std::string::npos);
+  EXPECT_NE(stubs.find("if (acc & 0x80) acc = acc | 0xffffff00;", getter),
+            std::string::npos);
+}
+
+TEST(DevilCodegen, SixteenBitPortUsesInw) {
+  std::string stubs =
+      stubs_for(corpus::ide_spec(), devil::CodegenMode::kProduction);
+  size_t stub = stubs.find("reg_get_data_reg");
+  ASSERT_NE(stub, std::string::npos);
+  EXPECT_NE(stubs.find("inw(devil_port_data", stub), std::string::npos);
+}
+
+TEST(DevilCodegen, MkConstructorAssertsRangeInDebug) {
+  std::string stubs = stubs_for(corpus::ide_spec(), devil::CodegenMode::kDebug);
+  size_t mk = stubs.find("mk_SectorCount");
+  ASSERT_NE(mk, std::string::npos);
+  EXPECT_NE(stubs.find("raw < 0 || raw > 0xff", mk), std::string::npos);
+}
+
+TEST(DevilCodegen, MkConstructorIsPassThroughInProduction) {
+  std::string stubs =
+      stubs_for(corpus::ide_spec(), devil::CodegenMode::kProduction);
+  size_t mk = stubs.find("mk_SectorCount");
+  ASSERT_NE(mk, std::string::npos);
+  size_t end = stubs.find("}", mk);
+  EXPECT_NE(stubs.substr(mk, end - mk).find("return v;"), std::string::npos);
+}
+
+TEST(DevilCodegen, WriteOnlyVariableHasNoGetter) {
+  std::string stubs =
+      stubs_for(corpus::busmouse_spec(), devil::CodegenMode::kProduction);
+  EXPECT_EQ(stubs.find("get_config"), std::string::npos);
+  EXPECT_NE(stubs.find("set_config"), std::string::npos);
+}
+
+TEST(DevilCodegen, ReadOnlyVariableHasNoSetter) {
+  std::string stubs =
+      stubs_for(corpus::busmouse_spec(), devil::CodegenMode::kProduction);
+  EXPECT_NE(stubs.find("get_buttons"), std::string::npos);
+  EXPECT_EQ(stubs.find("set_buttons"), std::string::npos);
+}
+
+TEST(DevilCodegen, CachesOnlyForWritableRegisters) {
+  std::string stubs =
+      stubs_for(corpus::busmouse_spec(), devil::CodegenMode::kProduction);
+  EXPECT_NE(stubs.find("devil_cache_cr"), std::string::npos);
+  EXPECT_EQ(stubs.find("devil_cache_x_low"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// End-to-end tests: specs through codegen through the interpreter against
+// the simulated devices, plus targeted single-mutant scenarios that pin the
+// paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/drivers.h"
+#include "corpus/specs.h"
+#include "devil/compiler.h"
+#include "hw/busmouse.h"
+#include "hw/ide_disk.h"
+#include "hw/io_bus.h"
+#include "minic/program.h"
+
+namespace {
+
+struct IdeWorld {
+  hw::IoBus bus;
+  std::shared_ptr<hw::IdeDisk> disk = std::make_shared<hw::IdeDisk>();
+  IdeWorld() { bus.map(0x1f0, 8, disk); }
+};
+
+std::string cdevil_unit(devil::CodegenMode mode) {
+  auto r = devil::compile_spec("ide.dil", corpus::ide_spec(), mode);
+  EXPECT_TRUE(r.ok()) << r.diags.render();
+  return r.stubs + "\n" + corpus::cdevil_ide_driver();
+}
+
+TEST(Integration, AllFiveSpecsPassTheDevilCompiler) {
+  for (const auto& spec : corpus::all_specs()) {
+    auto r = devil::check_spec(spec.file, spec.text);
+    EXPECT_TRUE(r.ok()) << spec.name << "\n" << r.diags.render();
+  }
+}
+
+TEST(Integration, CDriverBootsAndFingerprints) {
+  IdeWorld w;
+  auto out = minic::compile_and_run("ide_c.c", corpus::c_ide_driver(),
+                                    "ide_boot", w.bus, 3'000'000);
+  EXPECT_EQ(out.fault, minic::FaultKind::kNone) << out.fault_message;
+  EXPECT_GT(out.return_value, 0);
+  EXPECT_FALSE(w.disk->damaged());
+}
+
+TEST(Integration, CDevilDriverMatchesCInBothModes) {
+  IdeWorld wc;
+  auto c = minic::compile_and_run("ide_c.c", corpus::c_ide_driver(),
+                                  "ide_boot", wc.bus, 3'000'000);
+  for (auto mode :
+       {devil::CodegenMode::kDebug, devil::CodegenMode::kProduction}) {
+    IdeWorld w;
+    auto out = minic::compile_and_run("ide.dil", cdevil_unit(mode), "ide_boot",
+                                      w.bus, 3'000'000);
+    EXPECT_EQ(out.fault, minic::FaultKind::kNone) << out.fault_message;
+    EXPECT_EQ(out.return_value, c.return_value)
+        << "CDevil and C drivers must observe the same world";
+  }
+}
+
+TEST(Integration, BusmouseDriversAgreeOnState) {
+  auto run_mouse = [](const std::string& name, const std::string& src) {
+    hw::IoBus bus;
+    auto mouse = std::make_shared<hw::Busmouse>();
+    mouse->set_motion(-5, 17, 4);
+    bus.map(0x23c, 4, mouse);
+    auto out = minic::compile_and_run(name, src, "mouse_boot", bus, 1'000'000);
+    EXPECT_EQ(out.fault, minic::FaultKind::kNone) << out.fault_message;
+    return out.return_value;
+  };
+  auto r = devil::compile_spec("busmouse.dil", corpus::busmouse_spec(),
+                               devil::CodegenMode::kDebug);
+  ASSERT_TRUE(r.ok());
+  int64_t c_state = run_mouse("bm_c.c", corpus::c_busmouse_driver());
+  int64_t d_state = run_mouse(
+      "busmouse.dil", r.stubs + "\n" + corpus::cdevil_busmouse_driver());
+  EXPECT_EQ(c_state, d_state);
+}
+
+TEST(Integration, DebugStubsMaskIrrelevantBits) {
+  // The busmouse data port floats garbage in its top nibble; the generated
+  // stubs must mask it out (dx == 5 exactly, not 5 | junk).
+  auto r = devil::compile_spec("busmouse.dil", corpus::busmouse_spec(),
+                               devil::CodegenMode::kDebug);
+  ASSERT_TRUE(r.ok());
+  std::string unit = r.stubs + "\nint probe() { return dil_val(get_dx()); }";
+  hw::IoBus bus;
+  auto mouse = std::make_shared<hw::Busmouse>();
+  mouse->set_motion(5, 0, 0);
+  bus.map(0x23c, 4, mouse);
+  std::string init_unit = unit +
+      "\nint main_entry() { devil_init(0x23c); return probe(); }";
+  auto out = minic::compile_and_run("busmouse.dil", init_unit, "main_entry",
+                                    bus, 100'000);
+  EXPECT_EQ(out.fault, minic::FaultKind::kNone) << out.fault_message;
+  EXPECT_EQ(out.return_value, 5);
+}
+
+TEST(Integration, SignedVariablesSignExtend) {
+  auto r = devil::compile_spec("busmouse.dil", corpus::busmouse_spec(),
+                               devil::CodegenMode::kProduction);
+  ASSERT_TRUE(r.ok());
+  std::string unit = r.stubs +
+      "\nint main_entry() { devil_init(0x23c); return get_dy(); }";
+  hw::IoBus bus;
+  auto mouse = std::make_shared<hw::Busmouse>();
+  mouse->set_motion(0, -3, 0);
+  bus.map(0x23c, 4, mouse);
+  auto out =
+      minic::compile_and_run("busmouse.dil", unit, "main_entry", bus, 100'000);
+  EXPECT_EQ(out.fault, minic::FaultKind::kNone) << out.fault_message;
+  EXPECT_EQ(out.return_value, -3);
+}
+
+// ---- targeted mutants: the paper's qualitative claims -------------------------
+
+/// Applies a textual replacement to the CDevil driver and reports what
+/// happens (compile error => "compile"; fault kind otherwise).
+std::string run_cdevil_with(const std::string& from, const std::string& to,
+                            devil::CodegenMode mode) {
+  std::string driver = corpus::cdevil_ide_driver();
+  size_t pos = driver.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  driver.replace(pos, from.size(), to);
+  auto r = devil::compile_spec("ide.dil", corpus::ide_spec(), mode);
+  EXPECT_TRUE(r.ok());
+  std::string unit = r.stubs + "\n" + driver;
+  minic::Program prog = minic::compile("ide.dil", unit);
+  if (!prog.ok()) return "compile";
+  IdeWorld w;
+  minic::Interp interp(*prog.unit, w.bus, 3'000'000);
+  auto out = interp.run("ide_boot");
+  return minic::fault_kind_name(out.fault);
+}
+
+TEST(Integration, WrongValueOfSameTypeUndetectedAtCompileTime) {
+  // MASTER -> SLAVE compiles in both modes; the absent slave then fails the
+  // probe, so the kernel halts (a detected-late behaviour, not a type error).
+  EXPECT_EQ(run_cdevil_with("set_Drive(MASTER)", "set_Drive(SLAVE)",
+                            devil::CodegenMode::kDebug),
+            "panic");
+}
+
+TEST(Integration, CrossTypeValueCaughtAtCompileTimeInDebugOnly) {
+  // set_Drive(WIN_READ): another Devil type. Debug mode: C type error.
+  EXPECT_EQ(run_cdevil_with("set_Drive(MASTER)", "set_Drive(WIN_READ)",
+                            devil::CodegenMode::kDebug),
+            "compile");
+  // Production mode: everything is an integer; the bogus select value is
+  // written to the device and the boot fails only behaviourally.
+  EXPECT_NE(run_cdevil_with("set_Drive(MASTER)", "set_Drive(WIN_READ)",
+                            devil::CodegenMode::kProduction),
+            "compile");
+}
+
+TEST(Integration, WrongGetterInsideDilEqCaughtAtRunTime) {
+  // get_Busy -> get_Seek compiles (both structs), but the dil_eq type tag
+  // differs: the Devil assertion fires — the paper's run-time check.
+  EXPECT_EQ(run_cdevil_with("dil_eq(get_Busy(), BUSY)",
+                            "dil_eq(get_Seek(), BUSY)",
+                            devil::CodegenMode::kDebug),
+            "devil-assertion");
+}
+
+TEST(Integration, WrongStubNameCaughtAtCompileTime) {
+  EXPECT_EQ(run_cdevil_with("set_Command(WIN_IDENTIFY)",
+                            "set_Drive(WIN_IDENTIFY)",
+                            devil::CodegenMode::kDebug),
+            "compile");
+}
+
+TEST(Integration, OutOfRangeMkValueCaughtByDebugAssertion) {
+  EXPECT_EQ(run_cdevil_with("mk_SectorCount(1)", "mk_SectorCount(300)",
+                            devil::CodegenMode::kDebug),
+            "devil-assertion");
+  EXPECT_NE(run_cdevil_with("mk_SectorCount(1)", "mk_SectorCount(300)",
+                            devil::CodegenMode::kProduction),
+            "devil-assertion");
+}
+
+TEST(Integration, CDriverPortTypoLoopsForever) {
+  // In the C driver, polling a wrong (unmapped) status port hangs the boot:
+  // the open bus floats 0xff, so BUSY never clears.
+  std::string driver = corpus::c_ide_driver();
+  size_t pos = driver.find("#define IDE_STATUS   0x1f7");
+  ASSERT_NE(pos, std::string::npos);
+  driver.replace(pos, std::string("#define IDE_STATUS   0x1f7").size(),
+                 "#define IDE_STATUS   0x1e7");
+  IdeWorld w;
+  auto out =
+      minic::compile_and_run("ide_c.c", driver, "ide_boot", w.bus, 500'000);
+  EXPECT_EQ(out.fault, minic::FaultKind::kStepLimit);
+}
+
+TEST(Integration, CDriverWriteCommandTypoDamagesDisk) {
+  // WIN_READ (0x20) typed as WIN_WRITE-style 0x30: the C compiler accepts
+  // it, the device commits garbage, and the disk is damaged.
+  std::string driver = corpus::c_ide_driver();
+  size_t pos = driver.find("#define WIN_READ     0x20");
+  ASSERT_NE(pos, std::string::npos);
+  driver.replace(pos, std::string("#define WIN_READ     0x20").size(),
+                 "#define WIN_READ     0x30");
+  IdeWorld w;
+  auto out =
+      minic::compile_and_run("ide_c.c", driver, "ide_boot", w.bus, 3'000'000);
+  // The boot fails one way or another, and the disk shows damage.
+  EXPECT_TRUE(w.disk->damaged() || out.fault != minic::FaultKind::kNone);
+}
+
+TEST(Integration, SpecMutantCaughtByCompiler) {
+  // Mutating a port offset moves a register onto another one: the Devil
+  // compiler rejects the specification (overlap / no-omission).
+  std::string spec = corpus::busmouse_spec();
+  size_t pos = spec.find("base @ 1 : bit[8]");
+  ASSERT_NE(pos, std::string::npos);
+  std::string mutated = spec;
+  mutated.replace(pos, 8, "base @ 3");
+  auto r = devil::check_spec("busmouse.dil", mutated);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace

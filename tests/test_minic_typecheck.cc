@@ -1,0 +1,223 @@
+// Tests for the MiniC type checker: it must be exactly as permissive as C.
+// Each rejection rule is exercised by code a mutation can produce.
+#include <gtest/gtest.h>
+
+#include "minic/program.h"
+
+namespace {
+
+minic::Program compile(const std::string& src) {
+  return minic::compile("t.c", src);
+}
+
+void expect_ok(const std::string& src) {
+  auto p = compile(src);
+  EXPECT_TRUE(p.ok()) << p.diags.render();
+}
+
+void expect_code(const std::string& src, const std::string& code) {
+  auto p = compile(src);
+  EXPECT_FALSE(p.ok()) << "expected rejection with " << code;
+  EXPECT_TRUE(p.diags.has_code(code)) << p.diags.render();
+}
+
+// ---- C permissiveness (must NOT be rejected) --------------------------------
+
+TEST(MiniCTypes, AllIntegerTypesInterconvert) {
+  expect_ok(
+      "void f() { u8 a; u16 b; u32 c; s8 d; int e;"
+      " a = b; b = c; c = d; d = e; e = a; }");
+}
+
+TEST(MiniCTypes, MacrosEraseTypeDistinctions) {
+  // The crux of the paper's argument: a port macro and a command macro are
+  // indistinguishable integers after preprocessing.
+  expect_ok(
+      "#define PORT 0x1f0\n#define CMD 0xec\n"
+      "void f() { outb(PORT, CMD); outb(CMD, PORT); }");
+}
+
+TEST(MiniCTypes, IntLiteralPassedToNarrowParam) {
+  expect_ok("void g(u8 v) {} void f() { g(0x1234); }");  // C truncates quietly
+}
+
+TEST(MiniCTypes, FunctionsUsableBeforeDefinition) {
+  expect_ok("int f() { return g(); } int g() { return 1; }");
+}
+
+TEST(MiniCTypes, SameStructTypeAssignable) {
+  expect_ok(
+      "struct S { int v; };"
+      "void f() { S a; S b; a = b; }");
+}
+
+// ---- rejections -----------------------------------------------------------------
+
+TEST(MiniCTypes, MC100_UndeclaredIdentifier) {
+  expect_code("void f() { x = 1; }", "MC100");
+}
+
+TEST(MiniCTypes, MC100_LocalOfOtherFunctionNotVisible) {
+  // The classic identifier-mutation kill: a name from another function.
+  expect_code("void g() { int stat; stat = 0; } void f() { stat = 1; }",
+              "MC100");
+}
+
+TEST(MiniCTypes, MC101_UndefinedFunctionCall) {
+  expect_code("void f() { frobnicate(1); }", "MC101");
+}
+
+TEST(MiniCTypes, MC102_WrongArity) {
+  expect_code("void g(int a) {} void f() { g(1, 2); }", "MC102");
+}
+
+TEST(MiniCTypes, MC103_StructArgumentForIntParam) {
+  expect_code(
+      "struct S { int v; };"
+      "void g(int a) {} void f() { S s; g(s); }",
+      "MC103");
+}
+
+TEST(MiniCTypes, MC103_WrongStructTypeArgument) {
+  // set_Drive(WIN_IDENTIFY)-style mutant: another Devil struct type.
+  expect_code(
+      "struct A { int v; }; struct B { int v; };"
+      "void g(A a) {} void f() { B b; g(b); }",
+      "MC103");
+}
+
+TEST(MiniCTypes, MC104_MemberOfNonStruct) {
+  expect_code("void f() { int x; x.val = 1; }", "MC104");
+}
+
+TEST(MiniCTypes, MC105_UnknownMember) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; s.w = 1; }", "MC105");
+}
+
+TEST(MiniCTypes, MC106_AssignStructToInt) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; int x; x = s; }", "MC106");
+}
+
+TEST(MiniCTypes, MC106_AssignIntToStruct) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; s = 3; }", "MC106");
+}
+
+TEST(MiniCTypes, MC106_AssignAcrossStructTypes) {
+  expect_code(
+      "struct A { int v; }; struct B { int v; };"
+      "void f() { A a; B b; a = b; }",
+      "MC106");
+}
+
+TEST(MiniCTypes, MC107_ArithmeticOnStruct) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; int x; x = s + 1; }", "MC107");
+}
+
+TEST(MiniCTypes, MC108_StructCondition) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; if (s) { return; } }", "MC108");
+}
+
+TEST(MiniCTypes, MC109_ReturnTypeMismatch) {
+  expect_code(
+      "struct S { int v; }; int f() { S s; return s; }", "MC106");
+  expect_code("int f() { return; }", "MC109");
+  expect_code("void f() { return 3; }", "MC109");
+}
+
+TEST(MiniCTypes, MC110_SubscriptOnScalar) {
+  expect_code("void f() { int x; x[0] = 1; }", "MC110");
+}
+
+TEST(MiniCTypes, MC111_Redefinitions) {
+  expect_code("int f() { return 0; } int f() { return 1; }", "MC111");
+  expect_code("int x; int x;", "MC111");
+  expect_code("struct S { int v; }; struct S { int v; };", "MC111");
+  expect_code("void f() { int a; int a; }", "MC111");
+}
+
+TEST(MiniCTypes, MC112_UnknownType) {
+  expect_code("void f() { Bogus_t v; }", "MC112");
+}
+
+TEST(MiniCTypes, MC114_AssignToNonLvalue) {
+  expect_code("void f() { 3 = 4; }", "MC114");
+}
+
+TEST(MiniCTypes, MC114_AssignToConst) {
+  expect_code("const int k = 1; void f() { k = 2; }", "MC114");
+}
+
+TEST(MiniCTypes, MC115_SwitchOnStruct) {
+  expect_code(
+      "struct S { int v; };"
+      "void f() { S s; switch (s) { default: break; } }",
+      "MC115");
+}
+
+TEST(MiniCTypes, MC106_CastStructToInt) {
+  expect_code(
+      "struct S { int v; }; void f() { S s; int x; x = (int)s; }", "MC106");
+}
+
+// ---- dil_eq / dil_val (the paper's §2.3 comparison macro) -----------------------
+
+TEST(MiniCTypes, DilEqIntIntOk) {
+  expect_ok("void f() { int a; int b; a = 0; b = 0; if (dil_eq(a, b)) {} }");
+}
+
+TEST(MiniCTypes, DilEqSameStructOk) {
+  expect_ok(
+      "struct S { cstring filename; int type; u32 val; };"
+      "void f() { S a; S b; if (dil_eq(a, b)) {} }");
+}
+
+TEST(MiniCTypes, DilEqCrossStructCompiles) {
+  // Different Devil types: compiles; only the run-time tag check catches it.
+  expect_ok(
+      "struct A { cstring filename; int type; u32 val; };"
+      "struct B { cstring filename; int type; u32 val; };"
+      "void f() { A a; B b; if (dil_eq(a, b)) {} }");
+}
+
+TEST(MiniCTypes, MC104_DilEqStructIntMixRejected) {
+  // The macro would expand to a member access on an int: compile error.
+  expect_code(
+      "struct S { cstring filename; int type; u32 val; };"
+      "void f() { S a; if (dil_eq(a, 3)) {} }",
+      "MC104");
+}
+
+TEST(MiniCTypes, DilValIntAndStructOk) {
+  expect_ok(
+      "struct S { cstring filename; int type; u32 val; };"
+      "void f() { S a; int x; x = dil_val(a); x = dil_val(x); }");
+}
+
+// ---- builtins -------------------------------------------------------------------
+
+TEST(MiniCTypes, BuiltinSignatures) {
+  expect_ok("void f() { u8 v; v = inb(0x1f0); outb(v, 0x1f0);"
+            " u16 w; w = inw(0x1f0); outw(w, 0x1f0); udelay(10); }");
+  expect_code("void f() { inb(); }", "MC102");
+  expect_code("void f() { panic(3); }", "MC103");
+  expect_code(
+      "struct S { int v; }; void f() { S s; outb(s, 0x10); }", "MC103");
+}
+
+TEST(MiniCTypes, ShadowingBuiltinRejected) {
+  expect_code("int inb(u32 p) { return 0; }", "MC111");
+}
+
+TEST(MiniCTypes, MC117_CallOnNonFunction) {
+  // A macro callee that expanded to a literal: grammar accepts, semantics
+  // reject — the fate of function-name/macro confusion mutants.
+  expect_code("#define F 0x1f0\nvoid f() { F(); }", "MC117");
+  expect_code("void f() { (1 + 2)(3); }", "MC117");
+}
+
+}  // namespace

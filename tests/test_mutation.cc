@@ -1,0 +1,422 @@
+// Tests for the mutation engine (paper §3): literal/operator/identifier
+// rules for both languages, region tagging, and site bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mutation/c_mutator.h"
+#include "mutation/devil_mutator.h"
+#include "mutation/site.h"
+
+namespace {
+
+using mutation::Mutant;
+using mutation::Site;
+using mutation::SiteKind;
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// ---- literal rules (§3.1) ----------------------------------------------------
+
+TEST(LiteralMutation, TwoDigitDecimalMatchesPaperArithmetic) {
+  // Paper: "given a 2-digit base-10 number, 50 mutants can be generated:
+  // 2 for removing a digit, 30 for inserting a new digit, and 18 for
+  // replacing a digit." We de-duplicate identical spellings and drop
+  // value-equivalent results, so the count is bounded by 50 but close.
+  auto muts = mutation::mutate_digit_string("", "50", "0123456789");
+  EXPECT_LE(muts.size(), 50u);
+  EXPECT_GE(muts.size(), 40u);
+  EXPECT_TRUE(std::set<std::string>(muts.begin(), muts.end()).size() ==
+              muts.size());  // unique
+}
+
+TEST(LiteralMutation, RemovalInsertionReplacement) {
+  auto muts = mutation::mutate_digit_string("", "50", "0123456789");
+  EXPECT_TRUE(contains(muts, "5"));    // removal
+  EXPECT_TRUE(contains(muts, "0"));    // removal
+  EXPECT_TRUE(contains(muts, "550"));  // insertion
+  EXPECT_TRUE(contains(muts, "501"));  // insertion
+  EXPECT_TRUE(contains(muts, "90"));   // replacement
+  EXPECT_FALSE(contains(muts, "50"));  // never the original
+}
+
+TEST(LiteralMutation, HexKeepsPrefixAndClass) {
+  auto muts = mutation::mutate_int_literal("0x1f0");
+  for (const auto& m : muts) {
+    if (m[0] == 'O') continue;  // the O-typo variant
+    EXPECT_EQ(m.substr(0, 2), "0x") << m;
+  }
+  EXPECT_TRUE(contains(muts, "0x1f"));
+  EXPECT_TRUE(contains(muts, "0x1f00"));
+  EXPECT_TRUE(contains(muts, "0x1f7"));
+}
+
+TEST(LiteralMutation, CapitalOTypoVariant) {
+  // The paper's own example: 0xfffff vs Oxffffff.
+  auto muts = mutation::mutate_int_literal("0xfffff");
+  EXPECT_TRUE(contains(muts, "Oxfffff"));
+}
+
+TEST(LiteralMutation, ValueEquivalentMutantsDropped) {
+  // "0" -> "00" parses to the same value and is not a semantic mutant.
+  auto muts = mutation::mutate_int_literal("0");
+  EXPECT_FALSE(contains(muts, "00"));
+  for (const auto& m : muts) EXPECT_NE(m, "0");
+}
+
+TEST(LiteralMutation, OctalStaysValid) {
+  auto muts = mutation::mutate_int_literal("010");
+  for (const auto& m : muts) {
+    if (m[0] == 'O') continue;
+    EXPECT_EQ(m.find('8'), std::string::npos) << m;
+    EXPECT_EQ(m.find('9'), std::string::npos) << m;
+  }
+}
+
+TEST(LiteralMutation, SuffixPreserved) {
+  auto muts = mutation::mutate_int_literal("0x10u");
+  for (const auto& m : muts) EXPECT_EQ(m.back(), 'u') << m;
+}
+
+TEST(LiteralMutation, BitStringClassRestricted) {
+  auto mask = mutation::mutate_bit_string("1.0", "01*.");
+  EXPECT_TRUE(contains(mask, "'1.*'"));   // replacement within mask class
+  EXPECT_TRUE(contains(mask, "'10'"));    // removal (wrong length -> caught)
+  auto pattern = mutation::mutate_bit_string("10", "01");
+  for (const auto& m : pattern) {
+    EXPECT_EQ(m.find('*'), std::string::npos) << m;
+    EXPECT_EQ(m.find("._"), std::string::npos) << m;
+  }
+}
+
+// ---- operator rules (Table 1) ---------------------------------------------------
+
+TEST(OperatorRules, TableCoversBitManipulationConfusions) {
+  const auto& rules = mutation::c_operator_rules();
+  auto find = [&](const std::string& op) -> const mutation::OperatorRule* {
+    for (const auto& r : rules) {
+      if (r.op == op) return &r;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("&"), nullptr);
+  EXPECT_TRUE(contains(find("&")->mutants, "&&"));
+  EXPECT_TRUE(contains(find("&")->mutants, "|"));
+  EXPECT_TRUE(contains(find("<<")->mutants, ">>"));
+  EXPECT_TRUE(contains(find("~")->mutants, "!"));
+  EXPECT_TRUE(contains(find("+")->mutants, "-"));
+}
+
+TEST(OperatorRules, MutantsStayInEquivalentClass) {
+  for (const auto& r : mutation::c_operator_rules()) {
+    for (const auto& m : r.mutants) EXPECT_NE(m, r.op);
+  }
+}
+
+// ---- C site scanning ----------------------------------------------------------------
+
+TEST(CScan, OnlyTaggedRegionsScanned) {
+  mutation::CScanOptions opt;
+  std::string src =
+      "int outside = 0x99;\n"
+      "/* MUT_BEGIN */\n"
+      "int inside = 0x42;\n"
+      "/* MUT_END */\n"
+      "int after = 0x77;\n";
+  auto sites = mutation::scan_c_sites(src, opt);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].original, "0x42");
+  EXPECT_EQ(sites[0].line, 3u);
+}
+
+TEST(CScan, WholeFileOption) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  auto sites = mutation::scan_c_sites("int a = 1; int b = 2;", opt);
+  EXPECT_EQ(sites.size(), 2u);
+}
+
+TEST(CScan, DefineBodySitesCarryMacroName) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  auto sites = mutation::scan_c_sites("#define PORT 0x1f0\nint x = 3;", opt);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].define_name, "PORT");
+  EXPECT_EQ(sites[1].define_name, "");
+}
+
+TEST(CScan, OperatorsDetectedWithoutSplittingLongerOnes) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  auto sites = mutation::scan_c_sites("void f() { int a; a <<= 1; a = a << 2; }",
+                                      opt);
+  std::vector<std::string> ops;
+  for (const auto& s : sites) {
+    if (s.kind == SiteKind::kOperator) ops.push_back(s.original);
+  }
+  EXPECT_TRUE(contains(ops, "<<="));
+  EXPECT_TRUE(contains(ops, "<<"));
+  for (const auto& o : ops) EXPECT_NE(o, "<");  // never half of <<
+}
+
+TEST(CScan, PlusPlusNotMutated) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  auto sites = mutation::scan_c_sites("void f() { int i; i++; }", opt);
+  for (const auto& s : sites) EXPECT_NE(s.original, "+");
+}
+
+TEST(CScan, StringContentsNotMutated) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  auto sites = mutation::scan_c_sites("cstring s = \"panic 0x10 + 5\";", opt);
+  EXPECT_TRUE(sites.empty());
+}
+
+TEST(CScan, DeclarationIdentifiersSkipped) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  opt.classes.add("stat", "identifier");
+  opt.classes.add("timeout", "identifier");
+  auto sites = mutation::scan_c_sites("void f() { u8 stat; stat = 1; }", opt);
+  std::vector<std::string> idents;
+  for (const auto& s : sites) {
+    if (s.kind == SiteKind::kIdentifier) idents.push_back(s.original);
+  }
+  // Only the use, not the declaration.
+  EXPECT_EQ(idents.size(), 1u);
+}
+
+TEST(CScan, SiteOffsetsSpliceCleanly) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  std::string src = "int x = 0x1f0;";
+  auto sites = mutation::scan_c_sites(src, opt);
+  ASSERT_EQ(sites.size(), 1u);
+  Mutant m{0, "0x3f6"};
+  EXPECT_EQ(mutation::apply_mutant(src, sites, m), "int x = 0x3f6;");
+}
+
+// ---- identifier classes ----------------------------------------------------------------
+
+TEST(Classes, CDriverClassIsAnyDefinedIdentifier) {
+  // §3.3 for plain C: macros, objects AND functions are one confusion
+  // class; only builtins/keywords stay out.
+  std::string src =
+      "#define PORT 0x10\n"
+      "int count;\n"
+      "void helper() { outb(1, PORT); }\n"
+      "void f() { count = 2; helper(); }\n";
+  auto classes = mutation::classes_for_c_driver(src);
+  EXPECT_FALSE(classes.candidates("PORT").empty());
+  EXPECT_FALSE(classes.candidates("count").empty());
+  EXPECT_FALSE(classes.candidates("helper").empty());  // functions included
+  EXPECT_TRUE(classes.candidates("outb").empty());     // builtin: excluded
+  // Numeric literals never leak pseudo-identifiers like "x10".
+  EXPECT_TRUE(classes.candidates("x10").empty());
+}
+
+TEST(Classes, CandidatesExcludeSelf) {
+  mutation::IdentifierClasses classes;
+  classes.add("A", "x");
+  classes.add("B", "x");
+  classes.add("C", "y");
+  auto cands = classes.candidates("A");
+  EXPECT_TRUE(contains(cands, "B"));
+  EXPECT_FALSE(contains(cands, "A"));
+  EXPECT_FALSE(contains(cands, "C"));  // other class
+}
+
+TEST(Classes, CDevilClassesSeparateSemanticRoles) {
+  std::string stubs =
+      "struct Drive_t { cstring filename; int type; u32 val; };\n"
+      "const Drive_t MASTER = { __FILE__, 1, 0x0 };\n"
+      "const Drive_t SLAVE = { __FILE__, 1, 0x1 };\n"
+      "static inline Drive_t get_Drive() { Drive_t v; return v; }\n"
+      "static inline void set_Drive(Drive_t v) { }\n"
+      "static inline u8 mk_Count(u8 v) { return v; }\n"
+      "static inline u8 get_Status() { return 0; }\n"
+      "static inline void set_Command(u8 v) { }\n";
+  std::string driver = "#define LIMIT 3\nint f() { return LIMIT; }\n";
+  auto classes = mutation::classes_for_cdevil_driver(stubs, driver);
+  // get functions only swap with get functions.
+  auto get_cands = classes.candidates("get_Drive");
+  EXPECT_TRUE(contains(get_cands, "get_Status"));
+  EXPECT_FALSE(contains(get_cands, "set_Drive"));
+  // values swap with values.
+  auto val_cands = classes.candidates("MASTER");
+  EXPECT_TRUE(contains(val_cands, "SLAVE"));
+  EXPECT_FALSE(contains(val_cands, "get_Drive"));
+  // driver macros are in the general class.
+  EXPECT_TRUE(classes.class_of.count("LIMIT"));
+}
+
+// ---- C mutant generation ------------------------------------------------------------------
+
+TEST(CMutants, GeneratedPerSiteKind) {
+  mutation::CScanOptions opt;
+  opt.whole_file = true;
+  opt.classes.add("A", "identifier");
+  opt.classes.add("B", "identifier");
+  std::string src = "int f() { int A; int B; A = B & 0x3; return A; }";
+  auto sites = mutation::scan_c_sites(src, opt);
+  auto muts = mutation::generate_c_mutants(sites, opt.classes);
+  bool has_ident = false, has_op = false, has_lit = false;
+  for (const auto& m : muts) {
+    switch (sites[m.site].kind) {
+      case SiteKind::kIdentifier: has_ident = true; break;
+      case SiteKind::kOperator: has_op = true; break;
+      case SiteKind::kLiteral: has_lit = true; break;
+    }
+  }
+  EXPECT_TRUE(has_ident);
+  EXPECT_TRUE(has_op);
+  EXPECT_TRUE(has_lit);
+}
+
+// ---- Devil mutation (§3.2) -------------------------------------------------------------------
+
+mutation::DevilNames busmouse_names() {
+  mutation::DevilNames names;
+  names.ports = {"base"};
+  names.registers = {"sig_reg", "cr", "interrupt_reg", "index_reg",
+                     "x_low", "x_high", "y_low", "y_high"};
+  names.variables = {"signature", "config", "interrupt", "index",
+                     "dx", "dy", "buttons"};
+  return names;
+}
+
+TEST(DevilScan, FindsLiteralOperatorIdentifierSites) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..3}) {\n"
+      "  register x_low = read base @ 0, pre {index = 0},"
+      " mask '****....' : bit[8];\n"
+      "  variable dx = x_high[3..0] # x_low[3..0] : signed int(8);\n"
+      "}\n";
+  auto sites = mutation::scan_devil_sites(spec, busmouse_names());
+  bool lit = false, op = false, ident = false;
+  for (const auto& s : sites) {
+    if (s.kind == SiteKind::kLiteral) lit = true;
+    if (s.kind == SiteKind::kOperator) op = true;
+    if (s.kind == SiteKind::kIdentifier) ident = true;
+  }
+  EXPECT_TRUE(lit);
+  EXPECT_TRUE(op);    // the '..' in {0..3}
+  EXPECT_TRUE(ident); // x_high / x_low / index uses
+}
+
+TEST(DevilScan, DeclarationSitesExcluded) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..0}) {\n"
+      "  register sig_reg = base @ 0 : bit[8];\n"
+      "  variable signature = sig_reg : int(8);\n"
+      "}\n";
+  auto sites = mutation::scan_devil_sites(spec, busmouse_names());
+  for (const auto& s : sites) {
+    if (s.kind != SiteKind::kIdentifier) continue;
+    // The only identifier *uses* are `base` (after =) and `sig_reg` (in the
+    // variable definition); declaration occurrences must not appear.
+    EXPECT_TRUE(s.original == "base" || s.original == "sig_reg") << s.original;
+  }
+}
+
+TEST(DevilScan, MaskAndPatternHaveDifferentCharsets) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..0}) {\n"
+      "  register cr = write base @ 0, mask '1001000.' : bit[8];\n"
+      "  variable config = cr[0] : { CONFIGURATION => '1',"
+      " DEFAULT_MODE => '0' };\n"
+      "}\n";
+  auto sites = mutation::scan_devil_sites(spec, busmouse_names());
+  bool saw_mask = false, saw_pattern = false;
+  for (const auto& s : sites) {
+    if (s.original == "1001000.") {
+      EXPECT_EQ(s.charset, "01*.");
+      saw_mask = true;
+    }
+    if (s.original == "1" && s.kind == SiteKind::kLiteral &&
+        !s.charset.empty()) {
+      EXPECT_EQ(s.charset, "01");
+      saw_pattern = true;
+    }
+  }
+  EXPECT_TRUE(saw_mask);
+  EXPECT_TRUE(saw_pattern);
+}
+
+TEST(DevilMutants, ArrowOperatorsSwapAmongThemselves) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..0}) {\n"
+      "  register r = base @ 0, mask '*******.' : bit[8];\n"
+      "  variable v = r[0] : { A <=> '1', B <=> '0' };\n"
+      "}\n";
+  auto names = busmouse_names();
+  auto sites = mutation::scan_devil_sites(spec, names);
+  auto muts = mutation::generate_devil_mutants(sites, names);
+  std::set<std::string> arrow_repls;
+  for (const auto& m : muts) {
+    if (sites[m.site].original == "<=>") arrow_repls.insert(m.replacement);
+  }
+  EXPECT_EQ(arrow_repls, (std::set<std::string>{"<=", "=>"}));
+}
+
+TEST(DevilMutants, RangeCommaSwapOnlyInRangeContexts) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..1}) {\n"
+      "  register r = base @ 0, mask '******..' : bit[8];\n"
+      "  register s = base @ 1 : bit[8];\n"
+      "  variable v = r[1..0] : int{0,2..3};\n"
+      "  variable w = s : int(8);\n"
+      "}\n";
+  auto names = busmouse_names();
+  auto sites = mutation::scan_devil_sites(spec, names);
+  int range_ops = 0;
+  for (const auto& s : sites) {
+    if (s.kind != SiteKind::kOperator) continue;
+    if (s.original == "," || s.original == "..") ++range_ops;
+  }
+  // {0..1} port range, int-set "0,2..3" (one comma + one dotdot).
+  // The '..' in r[1..0] and attribute commas are NOT sites.
+  EXPECT_EQ(range_ops, 3);
+}
+
+TEST(DevilMutants, IdentifierReplacementsStayInClass) {
+  std::string spec =
+      "device d (base : bit[8] port @ {0..0}) {\n"
+      "  register x_low = read base @ 0 : bit[8];\n"
+      "  variable dx = x_low : int(8);\n"
+      "}\n";
+  auto names = busmouse_names();
+  auto sites = mutation::scan_devil_sites(spec, names);
+  auto muts = mutation::generate_devil_mutants(sites, names);
+  for (const auto& m : muts) {
+    if (sites[m.site].original == "x_low") {
+      // Replacement must be another *register*, never a variable or port.
+      EXPECT_TRUE(std::find(names.registers.begin(), names.registers.end(),
+                            m.replacement) != names.registers.end())
+          << m.replacement;
+    }
+  }
+}
+
+TEST(DevilMutants, ApplySpliceRoundTrip) {
+  std::string spec = "device d (base : bit[8] port @ {0..3}) {\n}";
+  auto names = busmouse_names();
+  auto sites = mutation::scan_devil_sites(spec, names);
+  ASSERT_FALSE(sites.empty());
+  // Mutate the '3' in the range.
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].original == "3") {
+      Mutant m{i, "7"};
+      std::string out = mutation::apply_mutant(spec, sites, m);
+      EXPECT_NE(out.find("{0..7}"), std::string::npos);
+      return;
+    }
+  }
+  FAIL() << "no literal site for '3'";
+}
+
+}  // namespace

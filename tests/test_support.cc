@@ -1,0 +1,150 @@
+// Unit tests for the support library.
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/source.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+using support::SourceBuffer;
+using support::SourceLoc;
+
+TEST(SourceBuffer, SliceExtractsRange) {
+  SourceBuffer buf("t", "hello world");
+  support::SourceRange r{{0, 1, 1}, {5, 1, 6}};
+  EXPECT_EQ(buf.slice(r), "hello");
+}
+
+TEST(SourceBuffer, LineContainingMiddle) {
+  SourceBuffer buf("t", "one\ntwo\nthree\n");
+  SourceLoc loc;
+  loc.offset = 5;  // inside "two"
+  EXPECT_EQ(buf.line_containing(loc), "two");
+}
+
+TEST(SourceBuffer, LineContainingFirstAndLast) {
+  SourceBuffer buf("t", "one\ntwo");
+  SourceLoc first;
+  first.offset = 0;
+  EXPECT_EQ(buf.line_containing(first), "one");
+  SourceLoc last;
+  last.offset = 6;
+  EXPECT_EQ(buf.line_containing(last), "two");
+}
+
+TEST(SourceBuffer, LineCountCountsTrailingPartialLine) {
+  EXPECT_EQ(SourceBuffer("t", "a\nb\nc").line_count(), 3);
+  EXPECT_EQ(SourceBuffer("t", "a\nb\n").line_count(), 2);
+  EXPECT_EQ(SourceBuffer("t", "").line_count(), 0);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  support::DiagnosticEngine diags;
+  diags.warning("W1", {}, "warn");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error("E1", {}, "err");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1);
+  EXPECT_EQ(diags.all().size(), 2u);
+}
+
+TEST(Diagnostics, HasCodeFindsRule) {
+  support::DiagnosticEngine diags;
+  diags.error("DVL113", {}, "offset out of range");
+  EXPECT_TRUE(diags.has_code("DVL113"));
+  EXPECT_FALSE(diags.has_code("DVL999"));
+}
+
+TEST(Diagnostics, RenderContainsLocationAndMessage) {
+  support::DiagnosticEngine diags;
+  SourceLoc loc{10, 3, 7};
+  diags.error("E2", loc, "bad thing");
+  std::string text = diags.render();
+  EXPECT_NE(text.find("3:7"), std::string::npos);
+  EXPECT_NE(text.find("bad thing"), std::string::npos);
+  EXPECT_NE(text.find("E2"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  support::DiagnosticEngine diags;
+  diags.error("E", {}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(Rng, Deterministic) {
+  support::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  support::SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  support::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(Rng, SampleIndicesApproximatesPercent) {
+  auto kept = support::sample_indices(10000, 25, 99);
+  EXPECT_GT(kept.size(), 2200u);
+  EXPECT_LT(kept.size(), 2800u);
+  // Deterministic for a fixed seed.
+  EXPECT_EQ(kept, support::sample_indices(10000, 25, 99));
+}
+
+TEST(Rng, SampleIndicesSorted) {
+  auto kept = support::sample_indices(1000, 50, 3);
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(support::starts_with("Devil assertion: x", "Devil assertion"));
+  EXPECT_FALSE(support::starts_with("devil", "Devil"));
+}
+
+TEST(Strings, SplitLines) {
+  auto lines = support::split_lines("a\nb\n\nc");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(lines[3], "c");
+}
+
+TEST(Strings, CountCodeLinesSkipsBlanksAndComments) {
+  EXPECT_EQ(support::count_code_lines("a = 1;\n\n// comment\n  b;\n"), 2);
+  EXPECT_EQ(support::count_code_lines(""), 0);
+  EXPECT_EQ(support::count_code_lines("// only\n// comments\n"), 0);
+}
+
+TEST(Strings, SpliceReplacesRange) {
+  EXPECT_EQ(support::splice("0x1f0 + 6", 0, 5, "0x3f6"), "0x3f6 + 6");
+  EXPECT_EQ(support::splice("abc", 1, 1, "xyz"), "axyzc");
+  EXPECT_EQ(support::splice("abc", 3, 0, "!"), "abc!");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  support::TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "222"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("222"), std::string::npos);
+}
+
+TEST(Table, PercentFormatsOneDecimal) {
+  EXPECT_EQ(support::percent(138, 516), "26.7 %");
+  EXPECT_EQ(support::percent(0, 10), "0.0 %");
+  EXPECT_EQ(support::percent(1, 0), "n/a");
+}
+
+}  // namespace
