@@ -9,6 +9,7 @@
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/driver_campaign.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
@@ -88,6 +89,80 @@ void BM_FullMutantCycle(benchmark::State& state) {
   state.counters["paper_seconds_per_experiment"] = 120;  // for comparison
 }
 BENCHMARK(BM_FullMutantCycle)->Unit(benchmark::kMillisecond);
+
+void BM_CDevilMutantCyclePrepared(benchmark::State& state) {
+  // The campaign engine's per-mutant cycle for the stub-heavy CDevil unit:
+  // the stub prefix is lexed once, only the driver tail is re-lexed.
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  const std::string& driver = corpus::cdevil_ide_driver();
+  auto prefix = minic::prepare_prefix("ide.dil", spec.stubs + "\n");
+  mutation::CScanOptions opt;
+  opt.classes = mutation::classes_for_cdevil_driver(spec.stubs, driver);
+  auto sites = mutation::scan_c_sites(driver, opt);
+  auto mutants = mutation::generate_c_mutants(sites, opt.classes);
+  size_t ix = 0;
+  for (auto _ : state) {
+    const auto& m = mutants[ix++ % mutants.size()];
+    std::string mutated = mutation::apply_mutant(driver, sites, m);
+    auto prog = minic::compile_with_prefix(prefix, mutated);
+    if (prog.ok()) {
+      hw::IoBus bus;
+      bus.map(0x1f0, 8, std::make_shared<hw::IdeDisk>());
+      minic::Interp interp(*prog.unit, bus, 3'000'000);
+      auto out = interp.run("ide_boot");
+      benchmark::DoNotOptimize(out.fault);
+    }
+  }
+}
+BENCHMARK(BM_CDevilMutantCyclePrepared)->Unit(benchmark::kMillisecond);
+
+// The headline number: full campaign wall-clock at 1/2/4/8 worker threads.
+// Results are identical at every thread count (ctest asserts this); only
+// the wall-clock changes.
+void BM_CampaignParallel(benchmark::State& state) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_ide_driver();
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  size_t mutants = 0;
+  for (auto _ : state) {
+    auto res = eval::run_ide_campaign(cfg);
+    mutants = res.sampled_mutants;
+    benchmark::DoNotOptimize(res.tally.total_mutants);
+  }
+  state.counters["mutants"] = static_cast<double>(mutants);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(mutants * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CampaignParallelCDevil(benchmark::State& state) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  eval::DriverCampaignConfig cfg;
+  cfg.stubs = spec.stubs;
+  cfg.driver = corpus::cdevil_ide_driver();
+  cfg.is_cdevil = true;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  size_t mutants = 0;
+  for (auto _ : state) {
+    auto res = eval::run_ide_campaign(cfg);
+    mutants = res.sampled_mutants;
+    benchmark::DoNotOptimize(res.tally.total_mutants);
+  }
+  state.counters["mutants"] = static_cast<double>(mutants);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(mutants * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignParallelCDevil)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the campaign-throughput benchmark and writes BENCH_campaign.json next
+# to the repo root, so the perf trajectory is tracked PR over PR.
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench_campaign_throughput" ]]; then
+  echo "building benchmarks in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "$build_dir" --target bench_campaign_throughput -j >&2
+fi
+
+out="$repo_root/BENCH_campaign.json"
+"$build_dir/bench_campaign_throughput" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json > "$out"
+echo "wrote $out" >&2

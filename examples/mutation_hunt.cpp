@@ -4,12 +4,20 @@
 //
 // The typo: the developer confuses the drive-select value with a command
 // byte (an inattention error, §3.1).
+//
+// With `--threads N` it additionally runs the full Tables 3/4 campaigns on
+// the parallel engine (N worker threads, 0 = all cores) and prints the
+// comparison — the whole paper evaluation in seconds.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/driver_campaign.h"
+#include "eval/report.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
@@ -56,9 +64,47 @@ std::string replace_once(std::string text, const std::string& from,
   return text;
 }
 
+/// Runs the full C vs CDevil driver campaigns on `threads` workers and
+/// prints the paper's Tables 3/4 plus the headline comparison.
+int run_campaigns(unsigned threads) {
+  std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
+              "cores)...\n\n", threads);
+  eval::DriverCampaignConfig c_cfg;
+  c_cfg.driver = corpus::c_ide_driver();
+  c_cfg.threads = threads;
+  auto c_res = eval::run_ide_campaign(c_cfg);
+
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s", spec.diags.render().c_str());
+    return 1;
+  }
+  eval::DriverCampaignConfig d_cfg;
+  d_cfg.stubs = spec.stubs;
+  d_cfg.driver = corpus::cdevil_ide_driver();
+  d_cfg.is_cdevil = true;
+  d_cfg.threads = threads;
+  auto d_res = eval::run_ide_campaign(d_cfg);
+
+  std::printf("%s\n", eval::render_driver_table("Table 3: original C driver",
+                                                c_res).c_str());
+  std::printf("%s\n", eval::render_driver_table("Table 4: CDevil driver",
+                                                d_res).c_str());
+  std::printf("%s\n", eval::render_comparison(c_res, d_res).c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return run_campaigns(
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
+    }
+  }
+
   std::printf("Scenario: selecting the drive, the developer writes the\n"
               "IDENTIFY command byte instead of the drive-select value.\n\n");
 

@@ -1,6 +1,5 @@
 #include "eval/driver_campaign.h"
 
-#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -8,6 +7,7 @@
 #include "hw/io_bus.h"
 #include "minic/program.h"
 #include "mutation/c_mutator.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -63,18 +63,104 @@ Outcome classify_fault(minic::FaultKind kind) {
   throw std::logic_error("unclassifiable fault kind");
 }
 
+/// Everything invariant across mutants, computed once per campaign and
+/// shared read-only by all workers.
+struct PreparedCampaign {
+  const DriverCampaignConfig* config = nullptr;
+  minic::PreparedPrefix prefix;  // stubs lexed once
+  std::vector<mutation::Site> sites;
+  std::vector<mutation::Mutant> mutants;
+  int64_t clean_fingerprint = 0;
+};
+
+/// The pure per-mutant kernel: splice, compile (reusing the prefix token
+/// stream), boot, classify. Touches nothing but its own locals and the
+/// read-only `prep`, so any number of these can run concurrently.
+MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix) {
+  const DriverCampaignConfig& config = *prep.config;
+  const mutation::Mutant& m = prep.mutants[mutant_ix];
+  const mutation::Site& site = prep.sites[m.site];
+  std::string mutated_driver =
+      mutation::apply_mutant(config.driver, prep.sites, m);
+
+  MutantRecord rec;
+  rec.mutant_index = mutant_ix;
+  rec.site = m.site;
+
+  minic::Program prog = minic::compile_with_prefix(prep.prefix,
+                                                   mutated_driver);
+  if (!prog.ok()) {
+    rec.outcome = Outcome::kCompileTime;
+    if (!prog.diags.all().empty()) {
+      rec.detail = prog.diags.all().front().to_string();
+    }
+    return rec;
+  }
+
+  hw::IoBus bus;
+  auto disk = std::make_shared<hw::IdeDisk>();
+  bus.map(0x1f0, 8, disk);
+  minic::Interp interp(*prog.unit, bus, config.step_budget);
+  auto run = interp.run(config.entry);
+
+  if (run.fault == minic::FaultKind::kInternal) {
+    throw std::logic_error("interpreter bug on mutant: " + run.fault_message);
+  }
+  if (run.fault != minic::FaultKind::kNone) {
+    rec.outcome = classify_fault(run.fault);
+    rec.detail = run.fault_message;
+  } else if (disk->damaged() ||
+             run.return_value != prep.clean_fingerprint) {
+    // Boot completed but the system is visibly wrong: clobbered disk or
+    // a different world view (wrong partition/filesystem mounted).
+    rec.outcome = Outcome::kDamagedBoot;
+    rec.detail = disk->damaged() ? disk->damage_note()
+                                 : "wrong boot fingerprint";
+  } else {
+    // Healthy boot: dead code iff the mutated token never executed.
+    uint32_t unit_line = site.line + prep.prefix.lines;
+    bool executed;
+    if (!site.define_name.empty()) {
+      // Site inside a #define body: executed iff any use of the macro
+      // sits on an executed line.
+      executed = false;
+      auto uses = prog.unit->macro_use_lines.find(site.define_name);
+      if (uses != prog.unit->macro_use_lines.end()) {
+        for (uint32_t use_line : uses->second) {
+          if (run.executed.test(use_line)) {
+            executed = true;
+            break;
+          }
+        }
+      }
+    } else {
+      executed = run.executed.test(unit_line);
+    }
+    rec.outcome = executed ? Outcome::kBoot : Outcome::kDeadCode;
+  }
+  return rec;
+}
+
 }  // namespace
 
 DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
-  // Line offset of the driver within the concatenated unit (stubs first).
-  const std::string prefix =
+  PreparedCampaign prep;
+  prep.config = &config;
+
+  // Lex the invariant stub prefix once; every mutant re-lexes only the
+  // driver tail. Mutants never touch the stubs (sites are scanned in the
+  // driver alone), so the cached tokens are valid for all of them.
+  const std::string prefix_text =
       config.stubs.empty() ? std::string() : config.stubs + "\n";
-  const uint32_t line_offset = static_cast<uint32_t>(
-      std::count(prefix.begin(), prefix.end(), '\n'));
+  prep.prefix = minic::prepare_prefix(config.unit_name, prefix_text);
+  if (!prep.prefix.ok()) {
+    throw std::logic_error("driver stubs do not lex:\n" +
+                           prep.prefix.diags.render());
+  }
 
   // --- baseline run -----------------------------------------------------------
-  const std::string clean_unit = prefix + config.driver;
-  minic::Program clean = minic::compile(config.unit_name, clean_unit);
+  minic::Program clean = minic::compile_with_prefix(prep.prefix,
+                                                    config.driver);
   if (!clean.ok()) {
     throw std::logic_error("unmutated driver does not compile:\n" +
                            clean.diags.render());
@@ -99,6 +185,7 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
     }
     result.clean_fingerprint = run.return_value;
   }
+  prep.clean_fingerprint = result.clean_fingerprint;
 
   // --- mutant generation ---------------------------------------------------------
   mutation::CScanOptions scan;
@@ -106,80 +193,25 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
                      ? mutation::classes_for_cdevil_driver(config.stubs,
                                                            config.driver)
                      : mutation::classes_for_c_driver(config.driver);
-  auto sites = mutation::scan_c_sites(config.driver, scan);
-  auto mutants = mutation::generate_c_mutants(sites, scan.classes);
-  result.total_sites = sites.size();
-  result.total_mutants = mutants.size();
+  prep.sites = mutation::scan_c_sites(config.driver, scan);
+  prep.mutants = mutation::generate_c_mutants(prep.sites, scan.classes);
+  result.total_sites = prep.sites.size();
+  result.total_mutants = prep.mutants.size();
 
-  auto selected = support::sample_indices(mutants.size(),
+  auto selected = support::sample_indices(prep.mutants.size(),
                                           config.sample_percent, config.seed);
   result.sampled_mutants = selected.size();
 
-  // --- per-mutant compile + boot ---------------------------------------------------
-  for (size_t ix : selected) {
-    const mutation::Mutant& m = mutants[ix];
-    const mutation::Site& site = sites[m.site];
-    std::string mutated_driver =
-        mutation::apply_mutant(config.driver, sites, m);
-    std::string unit = prefix + mutated_driver;
-
-    MutantRecord rec;
-    rec.mutant_index = ix;
-    rec.site = m.site;
-
-    std::string compile_detail;
-    minic::Program prog = minic::compile(config.unit_name, unit);
-    if (!prog.ok()) {
-      rec.outcome = Outcome::kCompileTime;
-      if (!prog.diags.all().empty()) {
-        rec.detail = prog.diags.all().front().to_string();
-      }
-    } else {
-      hw::IoBus bus;
-      auto disk = std::make_shared<hw::IdeDisk>();
-      bus.map(0x1f0, 8, disk);
-      minic::Interp interp(*prog.unit, bus, config.step_budget);
-      auto run = interp.run(config.entry);
-
-      if (run.fault == minic::FaultKind::kInternal) {
-        throw std::logic_error("interpreter bug on mutant: " +
-                               run.fault_message);
-      }
-      if (run.fault != minic::FaultKind::kNone) {
-        rec.outcome = classify_fault(run.fault);
-        rec.detail = run.fault_message;
-      } else if (disk->damaged() ||
-                 run.return_value != result.clean_fingerprint) {
-        // Boot completed but the system is visibly wrong: clobbered disk or
-        // a different world view (wrong partition/filesystem mounted).
-        rec.outcome = Outcome::kDamagedBoot;
-        rec.detail = disk->damaged() ? disk->damage_note()
-                                     : "wrong boot fingerprint";
-      } else {
-        // Healthy boot: dead code iff the mutated token never executed.
-        uint32_t unit_line = site.line + line_offset;
-        bool executed;
-        if (!site.define_name.empty()) {
-          // Site inside a #define body: executed iff any use of the macro
-          // sits on an executed line.
-          executed = false;
-          auto uses = prog.unit->macro_use_lines.find(site.define_name);
-          if (uses != prog.unit->macro_use_lines.end()) {
-            for (uint32_t use_line : uses->second) {
-              if (run.executed_lines.count(use_line)) {
-                executed = true;
-                break;
-              }
-            }
-          }
-        } else {
-          executed = run.executed_lines.count(unit_line) > 0;
-        }
-        rec.outcome = executed ? Outcome::kBoot : Outcome::kDeadCode;
-      }
-    }
+  // --- per-mutant compile + boot (parallel map) ----------------------------------
+  // Workers write only their own records[i]; the order-sensitive tally
+  // reduction happens after the join, so the result is identical at any
+  // thread count.
+  result.records.resize(selected.size());
+  support::parallel_for(selected.size(), config.threads, [&](size_t i) {
+    result.records[i] = run_one_mutant(prep, selected[i]);
+  });
+  for (const MutantRecord& rec : result.records) {
     result.tally.add(rec.outcome, rec.site);
-    result.records.push_back(std::move(rec));
   }
   return result;
 }

@@ -27,13 +27,17 @@ struct DriverCampaignConfig {
   unsigned sample_percent = 25;
   uint64_t seed = 20010325;  // deterministic campaigns; any seed works
   uint64_t step_budget = 3'000'000;
+  /// Worker threads booting mutants; 0 = hardware_concurrency. Results are
+  /// identical at any thread count (records stay in mutant-index order and
+  /// the tally is reduced after the join).
+  unsigned threads = 1;
 };
 
 struct MutantRecord {
-  size_t mutant_index;  // into the full mutant list
-  size_t site;
-  Outcome outcome;
-  std::string detail;   // fault message / diagnostic code, when any
+  size_t mutant_index = 0;  // into the full mutant list
+  size_t site = 0;
+  Outcome outcome = Outcome::kCompileTime;
+  std::string detail;       // fault message / diagnostic code, when any
 };
 
 struct DriverCampaignResult {

@@ -4,6 +4,7 @@
 
 #include "devil/compiler.h"
 #include "mutation/devil_mutator.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 
 namespace eval {
@@ -21,7 +22,7 @@ mutation::DevilNames names_from(const devil::DeviceInfo& info) {
 }  // namespace
 
 SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
-                                  size_t max_survivor_samples) {
+                                  const SpecCampaignConfig& config) {
   auto baseline = devil::check_spec(spec.file, spec.text);
   if (!baseline.ok()) {
     throw std::logic_error("unmutated spec '" + spec.name +
@@ -39,25 +40,41 @@ SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
   row.sites = sites.size();
   row.mutants = mutants.size();
 
-  for (const auto& m : mutants) {
-    std::string mutated = mutation::apply_mutant(spec.text, sites, m);
+  // Parallel map: one flag per mutant, written only by its own worker.
+  // The order-sensitive reduction (detected count, first-N survivors) runs
+  // after the join, so any thread count yields the identical row.
+  std::vector<uint8_t> detected(mutants.size(), 0);
+  support::parallel_for(mutants.size(), config.threads, [&](size_t i) {
+    std::string mutated = mutation::apply_mutant(spec.text, sites, mutants[i]);
     auto result = devil::check_spec(spec.file, mutated);
-    if (!result.ok()) {
+    detected[i] = result.ok() ? 0 : 1;
+  });
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    if (detected[i]) {
       ++row.detected;
-    } else if (row.undetected_samples.size() < max_survivor_samples) {
-      const auto& s = sites[m.site];
+    } else if (row.undetected_samples.size() < config.max_survivor_samples) {
+      const auto& s = sites[mutants[i].site];
       row.undetected_samples.push_back(
           "line " + std::to_string(s.line) + ": '" + s.original + "' -> '" +
-          m.replacement + "'");
+          mutants[i].replacement + "'");
     }
   }
   return row;
 }
 
-std::vector<SpecCampaignRow> run_all_spec_campaigns() {
+SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
+                                  size_t max_survivor_samples) {
+  SpecCampaignConfig config;
+  config.max_survivor_samples = max_survivor_samples;
+  return run_spec_campaign(spec, config);
+}
+
+std::vector<SpecCampaignRow> run_all_spec_campaigns(unsigned threads) {
+  SpecCampaignConfig config;
+  config.threads = threads;
   std::vector<SpecCampaignRow> rows;
   for (const auto& spec : corpus::all_specs()) {
-    rows.push_back(run_spec_campaign(spec));
+    rows.push_back(run_spec_campaign(spec, config));
   }
   return rows;
 }

@@ -18,13 +18,26 @@ struct SpecCampaignRow {
   std::vector<std::string> undetected_samples;  // a few survivors, for study
 };
 
+struct SpecCampaignConfig {
+  size_t max_survivor_samples = 8;
+  /// Worker threads checking mutants; 0 = hardware_concurrency. Rows are
+  /// identical at any thread count (detection flags are written per-index
+  /// and reduced in mutant order after the join).
+  unsigned threads = 1;
+};
+
 /// Runs the full (unsampled) mutation campaign over one specification.
 /// Precondition: the unmutated spec must pass the Devil compiler; throws
 /// std::logic_error otherwise (that is a corpus bug, not a result).
+[[nodiscard]] SpecCampaignRow run_spec_campaign(
+    const corpus::SpecEntry& spec, const SpecCampaignConfig& config);
+
+/// Convenience overload keeping the original signature.
 [[nodiscard]] SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
                                                 size_t max_survivor_samples = 8);
 
 /// All five Table 2 rows.
-[[nodiscard]] std::vector<SpecCampaignRow> run_all_spec_campaigns();
+[[nodiscard]] std::vector<SpecCampaignRow> run_all_spec_campaigns(
+    unsigned threads = 1);
 
 }  // namespace eval

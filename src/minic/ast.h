@@ -82,6 +82,16 @@ struct Expr {
 
   // Filled by the type checker; consumed by the interpreter.
   Type type;
+  // Static resolution (also filled by the type checker) so the interpreter
+  // never resolves names on the hot path. Exactly one of frame_slot /
+  // global_slot is >= 0 for a resolved kIdent; callee_index or builtin_index
+  // is >= 0 for a resolved kCall; member_index is >= 0 for a resolved
+  // kMember.
+  int32_t frame_slot = -1;     // kIdent: slot within the function frame
+  int32_t global_slot = -1;    // kIdent: index into Unit::globals
+  int32_t member_index = -1;   // kMember: field position in the struct decl
+  int32_t callee_index = -1;   // kCall: index into Unit::functions
+  int32_t builtin_index = -1;  // kCall: static_cast<int>(Builtin)
 };
 
 // ---------------------------------------------------------------------------
@@ -125,6 +135,8 @@ struct Stmt {
   Type decl_type;
   std::string decl_name;
   std::optional<uint64_t> array_size;
+  /// Frame slot of the declared local (filled by the type checker).
+  int32_t frame_slot = -1;
 };
 
 // ---------------------------------------------------------------------------
@@ -165,6 +177,9 @@ struct FunctionDecl {
   std::vector<Param> params;
   StmtPtr body;
   support::SourceLoc loc;
+  /// Total frame slots (params + every local declaration, shadowing
+  /// included). Filled by the type checker; sizes the interpreter frame.
+  uint32_t frame_slots = 0;
 };
 
 /// A parsed translation unit (concatenation of generated stubs + driver).

@@ -1,8 +1,8 @@
 #include "minic/interp.h"
 
 #include <cassert>
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "minic/builtins.h"
 #include "support/strings.h"
@@ -67,24 +67,31 @@ struct Slot {
   std::vector<int64_t> arr;
 };
 
-struct BreakSignal {};
-struct ContinueSignal {};
-struct ReturnSignal {
-  Value v;
-};
+/// Statement completion status. Return/break/continue used to be thrown as
+/// C++ exceptions; a CDevil boot makes thousands of tiny stub calls, and an
+/// exception per `return` dominated the whole campaign. Plain status
+/// propagation is ~two orders of magnitude cheaper.
+enum class Flow { kNormal, kBreak, kContinue, kReturn };
 
 class Machine {
  public:
   Machine(const Unit& unit, IoEnvironment& io, uint64_t budget,
           RunOutcome& out)
-      : unit_(unit), io_(io), steps_left_(budget), out_(out) {
+      : unit_(unit), io_(io), budget_(budget), steps_left_(budget),
+        out_(out) {
+    structs_.reserve(unit_.structs.size());
     for (const auto& sd : unit_.structs) structs_[sd.name] = &sd;
-    for (const auto& fn : unit_.functions) functions_[fn.name] = &fn;
   }
 
+  /// Steps consumed so far (exact: step() decrements steps_left_ only).
+  [[nodiscard]] uint64_t steps_used() const { return budget_ - steps_left_; }
+
   void init_globals() {
-    for (const auto& g : unit_.globals) {
-      Slot slot;
+    globals_.clear();
+    globals_.resize(unit_.globals.size());
+    for (size_t i = 0; i < unit_.globals.size(); ++i) {
+      const GlobalDecl& g = unit_.globals[i];
+      Slot& slot = globals_[i];
       if (g.array_size) {
         slot.is_array = true;
         slot.elem_type = g.type;
@@ -92,10 +99,10 @@ class Machine {
       } else if (!g.init_list.empty()) {
         mark_line(g.loc);
         Value v = default_value(g.type);
-        for (size_t i = 0; i < g.init_list.size() && i < v.fields.size();
-             ++i) {
-          Value f = eval(*g.init_list[i]);
-          store_into(v.fields[i], std::move(f));
+        for (size_t f = 0; f < g.init_list.size() && f < v.fields.size();
+             ++f) {
+          Value fv = eval(*g.init_list[f]);
+          store_into(v.fields[f], std::move(fv));
         }
         slot.v = std::move(v);
       } else if (g.init) {
@@ -106,34 +113,41 @@ class Machine {
       } else {
         slot.v = default_value(g.type);
       }
-      globals_[g.name] = std::move(slot);
     }
   }
 
   Value call_function(const std::string& name, std::vector<Value> args) {
-    auto it = functions_.find(name);
-    if (it == functions_.end()) {
-      throw Fault{FaultKind::kInternal, "missing function " + name};
+    for (const auto& fn : unit_.functions) {
+      if (fn.name == name) return call_decl(fn, std::move(args));
     }
-    const FunctionDecl& fn = *it->second;
+    throw Fault{FaultKind::kInternal, "missing function " + name};
+  }
+
+  Value call_decl(const FunctionDecl& fn, std::vector<Value> args) {
     if (++depth_ > kMaxCallDepth) {
       throw Fault{FaultKind::kStackOverflow,
-                  "call depth exceeded in " + name};
+                  "call depth exceeded in " + fn.name};
     }
-    frames_.emplace_back();
-    frames_.back().emplace_back();
-    for (size_t i = 0; i < fn.params.size(); ++i) {
-      Slot slot;
+    // Params occupy the first frame slots, in declaration order (the type
+    // checker assigns them before any local). Frame vectors are pooled so a
+    // call does not malloc once the pool is warm.
+    std::vector<Slot> frame;
+    if (!frame_pool_.empty()) {
+      frame = std::move(frame_pool_.back());
+      frame_pool_.pop_back();
+      frame.clear();
+    }
+    frame.resize(fn.frame_slots);
+    frames_.push_back(std::move(frame));
+    std::vector<Slot>& slots = frames_.back();
+    for (size_t i = 0; i < fn.params.size() && i < slots.size(); ++i) {
+      Slot& slot = slots[i];
       slot.v = default_value(fn.params[i].type);
       if (i < args.size()) store_into(slot.v, std::move(args[i]));
-      frames_.back().back()[fn.params[i].name] = std::move(slot);
     }
-    Value result = Value::integer(0);
-    try {
-      exec(*fn.body);
-    } catch (ReturnSignal& r) {
-      result = std::move(r.v);
-    }
+    Value result = exec(*fn.body) == Flow::kReturn ? std::move(return_value_)
+                                                   : Value::integer(0);
+    frame_pool_.push_back(std::move(frames_.back()));
     frames_.pop_back();
     --depth_;
     return result;
@@ -147,9 +161,8 @@ class Machine {
                   "step budget exhausted at line " + std::to_string(loc.line)};
     }
     --steps_left_;
-    ++out_.steps_used;
   }
-  void mark_line(support::SourceLoc loc) { out_.executed_lines.insert(loc.line); }
+  void mark_line(support::SourceLoc loc) { out_.executed.set(loc.line); }
 
   Value default_value(const Type& t) {
     Value v;
@@ -182,119 +195,116 @@ class Machine {
   }
 
   // ---- name resolution -------------------------------------------------------
-  Slot* lookup(const std::string& name) {
-    if (!frames_.empty()) {
-      auto& scopes = frames_.back();
-      for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
-        auto f = it->find(name);
-        if (f != it->end()) return &f->second;
-      }
+  // Identifiers were resolved to slot indices by the type checker; the
+  // runtime only indexes.
+  Slot& slot_of(const Expr& e) {
+    if (e.frame_slot >= 0) {
+      return frames_.back()[static_cast<size_t>(e.frame_slot)];
     }
-    auto g = globals_.find(name);
-    return g == globals_.end() ? nullptr : &g->second;
+    if (e.global_slot >= 0) {
+      return globals_[static_cast<size_t>(e.global_slot)];
+    }
+    throw Fault{FaultKind::kInternal, "unbound name " + e.text};
   }
 
   // ---- statements -------------------------------------------------------------
-  void exec(const Stmt& s) {
+  [[nodiscard]] Flow exec(const Stmt& s) {
     step(s.loc);
     switch (s.kind) {
       case StmtKind::kEmpty:
-        return;
+        return Flow::kNormal;
       case StmtKind::kExpr:
         mark_line(s.loc);
-        eval(*s.expr[0]);
-        return;
+        eval_int(*s.expr[0]);  // result discarded; int path skips the Value
+        return Flow::kNormal;
       case StmtKind::kDecl: {
         mark_line(s.loc);
-        Slot slot;
+        if (s.frame_slot < 0) {
+          throw Fault{FaultKind::kInternal, "unresolved local " + s.decl_name};
+        }
+        // Re-executing a declaration (loop bodies) re-initialises its slot.
+        Slot& slot = frames_.back()[static_cast<size_t>(s.frame_slot)];
         if (s.array_size) {
           slot.is_array = true;
           slot.elem_type = s.decl_type;
           slot.arr.assign(static_cast<size_t>(*s.array_size), 0);
         } else {
+          slot.is_array = false;
           slot.v = default_value(s.decl_type);
           if (!s.expr.empty()) store_into(slot.v, eval(*s.expr[0]));
         }
-        frames_.back().back()[s.decl_name] = std::move(slot);
-        return;
+        return Flow::kNormal;
       }
       case StmtKind::kBlock: {
-        frames_.back().emplace_back();
-        for (const auto& child : s.body) exec(*child);
-        frames_.back().pop_back();
-        return;
+        // Scoping is fully static (slots assigned at typecheck time); a
+        // block is just its statements.
+        for (const auto& child : s.body) {
+          Flow f = exec(*child);
+          if (f != Flow::kNormal) return f;
+        }
+        return Flow::kNormal;
       }
       case StmtKind::kIf: {
         mark_line(s.loc);
-        if (truthy(eval(*s.expr[0]))) {
-          exec(*s.body[0]);
-        } else if (s.body.size() > 1) {
-          exec(*s.body[1]);
+        if (eval_int(*s.expr[0]) != 0) {
+          return exec(*s.body[0]);
         }
-        return;
+        if (s.body.size() > 1) return exec(*s.body[1]);
+        return Flow::kNormal;
       }
       case StmtKind::kWhile: {
         while (true) {
           step(s.loc);
           mark_line(s.loc);
-          if (!truthy(eval(*s.expr[0]))) break;
-          try {
-            exec(*s.body[0]);
-          } catch (BreakSignal&) {
-            break;
-          } catch (ContinueSignal&) {
-          }
+          if (eval_int(*s.expr[0]) == 0) break;
+          Flow f = exec(*s.body[0]);
+          if (f == Flow::kBreak) break;
+          if (f == Flow::kReturn) return f;
         }
-        return;
+        return Flow::kNormal;
       }
       case StmtKind::kDoWhile: {
         while (true) {
           step(s.loc);
           mark_line(s.loc);
-          try {
-            exec(*s.body[0]);
-          } catch (BreakSignal&) {
-            break;
-          } catch (ContinueSignal&) {
-          }
-          if (!truthy(eval(*s.expr[0]))) break;
+          Flow f = exec(*s.body[0]);
+          if (f == Flow::kBreak) break;
+          if (f == Flow::kReturn) return f;
+          if (eval_int(*s.expr[0]) == 0) break;
         }
-        return;
+        return Flow::kNormal;
       }
       case StmtKind::kFor: {
-        frames_.back().emplace_back();
         // body[0] = loop body, body[1] = optional init statement.
-        if (s.body.size() > 1 && s.body[1]) exec(*s.body[1]);
+        if (s.body.size() > 1 && s.body[1]) {
+          Flow f = exec(*s.body[1]);
+          if (f != Flow::kNormal) return f;
+        }
         while (true) {
           step(s.loc);
           mark_line(s.loc);
-          if (!s.expr.empty() && !truthy(eval(*s.expr[0]))) break;
-          try {
-            exec(*s.body[0]);
-          } catch (BreakSignal&) {
-            break;
-          } catch (ContinueSignal&) {
-          }
+          if (!s.expr.empty() && eval_int(*s.expr[0]) == 0) break;
+          Flow f = exec(*s.body[0]);
+          if (f == Flow::kBreak) break;
+          if (f == Flow::kReturn) return f;
           if (s.expr.size() > 1) eval(*s.expr[1]);
         }
-        frames_.back().pop_back();
-        return;
+        return Flow::kNormal;
       }
       case StmtKind::kReturn: {
         mark_line(s.loc);
-        ReturnSignal r;
-        r.v = s.expr.empty() ? Value::integer(0) : eval(*s.expr[0]);
-        throw r;
+        return_value_ = s.expr.empty() ? Value::integer(0) : eval(*s.expr[0]);
+        return Flow::kReturn;
       }
       case StmtKind::kBreak:
         mark_line(s.loc);
-        throw BreakSignal{};
+        return Flow::kBreak;
       case StmtKind::kContinue:
         mark_line(s.loc);
-        throw ContinueSignal{};
+        return Flow::kContinue;
       case StmtKind::kSwitch: {
         mark_line(s.loc);
-        int64_t operand = eval(*s.expr[0]).i;
+        int64_t operand = eval_int(*s.expr[0]);
         // Find the matching case. Case-label comparisons count as executed
         // lines: the comparison itself runs even when the arm does not.
         size_t match = s.cases.size();
@@ -306,27 +316,119 @@ class Machine {
             continue;
           }
           mark_line(c.loc);
-          if (eval(*c.value).i == operand) {
+          if (eval_int(*c.value) == operand) {
             match = i;
             break;
           }
         }
         if (match == s.cases.size()) match = default_ix;
         // Fall through successive cases until a break.
-        try {
-          for (size_t i = match; i < s.cases.size(); ++i) {
-            for (const auto& child : s.cases[i].body) exec(*child);
+        for (size_t i = match; i < s.cases.size(); ++i) {
+          for (const auto& child : s.cases[i].body) {
+            Flow f = exec(*child);
+            if (f == Flow::kBreak) return Flow::kNormal;
+            if (f != Flow::kNormal) return f;
           }
-        } catch (BreakSignal&) {
         }
-        return;
+        return Flow::kNormal;
       }
     }
+    return Flow::kNormal;
   }
 
   static bool truthy(const Value& v) { return v.i != 0; }
 
   // ---- expressions --------------------------------------------------------------
+  /// Integer fast path: evaluates expressions the type checker proved
+  /// integral without materialising a Value per node (a Value carries two
+  /// std::strings and a vector; constructing one per visited node dominated
+  /// the step-limit mutants that burn the full 3M-step budget). Step
+  /// accounting is identical to eval(): one step per visited node, parents
+  /// before children, so budgets and fault lines are unchanged.
+  int64_t eval_int(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        step(e.loc);
+        return static_cast<int64_t>(e.int_value);
+      case ExprKind::kIdent:
+        step(e.loc);
+        return slot_of(e).v.i;
+      case ExprKind::kUnary: {
+        step(e.loc);
+        int64_t v = eval_int(*e.sub[0]);
+        switch (e.op) {
+          case Tok::kMinus: return -v;
+          case Tok::kPlus: return v;
+          case Tok::kTilde: return ~v;
+          case Tok::kBang: return v == 0 ? 1 : 0;
+          default:
+            throw Fault{FaultKind::kInternal, "bad unary op"};
+        }
+      }
+      case ExprKind::kBinary: {
+        step(e.loc);
+        if (e.op == Tok::kAmpAmp) {
+          if (eval_int(*e.sub[0]) == 0) return 0;
+          return eval_int(*e.sub[1]) != 0 ? 1 : 0;
+        }
+        if (e.op == Tok::kPipePipe) {
+          if (eval_int(*e.sub[0]) != 0) return 1;
+          return eval_int(*e.sub[1]) != 0 ? 1 : 0;
+        }
+        int64_t a = eval_int(*e.sub[0]);
+        int64_t b = eval_int(*e.sub[1]);
+        return apply_binop(e.op, a, b);
+      }
+      case ExprKind::kCond:
+        if (e.type.is_integer()) {
+          // Integer result implies both arms are integers (checker rule).
+          step(e.loc);
+          return eval_int(*e.sub[0]) != 0 ? eval_int(*e.sub[1])
+                                          : eval_int(*e.sub[2]);
+        }
+        break;
+      case ExprKind::kCast:
+        if (e.cast_type.is_integer()) {
+          // C rejects struct<->scalar casts, so the operand is integral.
+          step(e.loc);
+          return coerce_int(eval_int(*e.sub[0]), e.cast_type);
+        }
+        break;
+      case ExprKind::kCall: {
+        int64_t io_result;
+        if (try_io_builtin(e, io_result)) return io_result;
+        break;
+      }
+      case ExprKind::kAssign:
+        if (e.type.is_integer()) {
+          // Integer target implies an integer right-hand side (assignments
+          // between integer and non-integer types are rejected).
+          step(e.loc);
+          int64_t rhs = eval_int(*e.sub[1]);
+          int64_t* arr_elem = nullptr;
+          Value* target = resolve_lvalue(*e.sub[0], &arr_elem);
+          if (arr_elem) {
+            int64_t next = e.op == Tok::kAssign
+                               ? rhs
+                               : apply_binop(compound_op(e.op), *arr_elem,
+                                             rhs);
+            *arr_elem = coerce_int(next, elem_type_);
+            return *arr_elem;
+          }
+          assert(target != nullptr);
+          int64_t next = e.op == Tok::kAssign
+                             ? rhs
+                             : apply_binop(compound_op(e.op), target->i, rhs);
+          target->i = coerce_int(next, target->type);
+          return target->i;
+        }
+        break;
+      default:
+        break;
+    }
+    return eval(e).i;  // slow path owns the step for this node
+  }
+
   Value eval(const Expr& e) {
     step(e.loc);
     switch (e.kind) {
@@ -334,15 +436,10 @@ class Machine {
         return Value::integer(static_cast<int64_t>(e.int_value));
       case ExprKind::kStringLit:
         return Value::str(e.text);
-      case ExprKind::kIdent: {
-        Slot* slot = lookup(e.text);
-        if (!slot) {
-          throw Fault{FaultKind::kInternal, "unbound name " + e.text};
-        }
-        return slot->v;  // arrays are only valid under kIndex (typechecked)
-      }
+      case ExprKind::kIdent:
+        return slot_of(e).v;  // arrays are only valid under kIndex
       case ExprKind::kUnary: {
-        int64_t v = eval(*e.sub[0]).i;
+        int64_t v = eval_int(*e.sub[0]);
         switch (e.op) {
           case Tok::kMinus: return Value::integer(-v);
           case Tok::kPlus: return Value::integer(v);
@@ -357,24 +454,24 @@ class Machine {
       case ExprKind::kAssign:
         return eval_assign(e);
       case ExprKind::kCond:
-        return truthy(eval(*e.sub[0])) ? eval(*e.sub[1]) : eval(*e.sub[2]);
+        return eval_int(*e.sub[0]) != 0 ? eval(*e.sub[1]) : eval(*e.sub[2]);
       case ExprKind::kMember: {
         Value base = eval(*e.sub[0]);
         return member_of(base, e);
       }
       case ExprKind::kIndex: {
-        Slot* slot = lookup(e.sub[0]->text);
-        if (!slot || !slot->is_array) {
+        Slot& slot = slot_of(*e.sub[0]);
+        if (!slot.is_array) {
           throw Fault{FaultKind::kInternal, "index on non-array"};
         }
-        int64_t ix = eval(*e.sub[1]).i;
-        if (ix < 0 || static_cast<size_t>(ix) >= slot->arr.size()) {
+        int64_t ix = eval_int(*e.sub[1]);
+        if (ix < 0 || static_cast<size_t>(ix) >= slot.arr.size()) {
           // Out-of-bounds access in kernel code: memory corruption -> crash.
           throw Fault{FaultKind::kBadIndex,
                       "out-of-bounds access to " + e.sub[0]->text};
         }
-        return Value::integer(slot->arr[static_cast<size_t>(ix)],
-                              slot->elem_type);
+        return Value::integer(slot.arr[static_cast<size_t>(ix)],
+                              slot.elem_type);
       }
       case ExprKind::kCast: {
         Value v = eval(*e.sub[0]);
@@ -390,34 +487,28 @@ class Machine {
   }
 
   Value member_of(const Value& base, const Expr& e) {
-    auto it = structs_.find(base.type.struct_name);
-    if (it == structs_.end()) {
-      throw Fault{FaultKind::kInternal, "member of unknown struct"};
+    if (e.member_index < 0) {
+      throw Fault{FaultKind::kInternal, "unresolved member " + e.text};
     }
-    const auto& fields = it->second->fields;
-    for (size_t i = 0; i < fields.size(); ++i) {
-      if (fields[i].name == e.text) {
-        if (i < base.fields.size()) return base.fields[i];
-        Value v;
-        v.type = fields[i].type;
-        return v;
-      }
-    }
-    throw Fault{FaultKind::kInternal, "missing member " + e.text};
+    size_t ix = static_cast<size_t>(e.member_index);
+    if (ix < base.fields.size()) return base.fields[ix];
+    Value v;
+    v.type = e.type;  // the checker recorded the field's type here
+    return v;
   }
 
   Value eval_binary(const Expr& e) {
     // Short-circuit forms first.
     if (e.op == Tok::kAmpAmp) {
-      if (!truthy(eval(*e.sub[0]))) return Value::integer(0);
-      return Value::integer(truthy(eval(*e.sub[1])) ? 1 : 0);
+      if (eval_int(*e.sub[0]) == 0) return Value::integer(0);
+      return Value::integer(eval_int(*e.sub[1]) != 0 ? 1 : 0);
     }
     if (e.op == Tok::kPipePipe) {
-      if (truthy(eval(*e.sub[0]))) return Value::integer(1);
-      return Value::integer(truthy(eval(*e.sub[1])) ? 1 : 0);
+      if (eval_int(*e.sub[0]) != 0) return Value::integer(1);
+      return Value::integer(eval_int(*e.sub[1]) != 0 ? 1 : 0);
     }
-    int64_t a = eval(*e.sub[0]).i;
-    int64_t b = eval(*e.sub[1]).i;
+    int64_t a = eval_int(*e.sub[0]);
+    int64_t b = eval_int(*e.sub[1]);
     return Value::integer(apply_binop(e.op, a, b));
   }
 
@@ -461,43 +552,34 @@ class Machine {
   Value* resolve_lvalue(const Expr& e, int64_t** arr_elem) {
     *arr_elem = nullptr;
     switch (e.kind) {
-      case ExprKind::kIdent: {
-        Slot* slot = lookup(e.text);
-        if (!slot) throw Fault{FaultKind::kInternal, "unbound " + e.text};
-        return &slot->v;
-      }
+      case ExprKind::kIdent:
+        return &slot_of(e).v;
       case ExprKind::kMember: {
         int64_t* dummy = nullptr;
         Value* base = resolve_lvalue(*e.sub[0], &dummy);
         if (!base) throw Fault{FaultKind::kInternal, "bad member lvalue"};
-        auto it = structs_.find(base->type.struct_name);
-        if (it == structs_.end()) {
-          throw Fault{FaultKind::kInternal, "member of unknown struct"};
+        if (e.member_index < 0) {
+          throw Fault{FaultKind::kInternal, "unresolved member " + e.text};
         }
-        const auto& fields = it->second->fields;
-        for (size_t i = 0; i < fields.size(); ++i) {
-          if (fields[i].name == e.text) {
-            while (base->fields.size() <= i) {
-              base->fields.push_back(Value{});
-            }
-            base->fields[i].type = fields[i].type;
-            return &base->fields[i];
-          }
+        size_t ix = static_cast<size_t>(e.member_index);
+        while (base->fields.size() <= ix) {
+          base->fields.push_back(Value{});
         }
-        throw Fault{FaultKind::kInternal, "missing member " + e.text};
+        base->fields[ix].type = e.type;
+        return &base->fields[ix];
       }
       case ExprKind::kIndex: {
-        Slot* slot = lookup(e.sub[0]->text);
-        if (!slot || !slot->is_array) {
+        Slot& slot = slot_of(*e.sub[0]);
+        if (!slot.is_array) {
           throw Fault{FaultKind::kInternal, "index on non-array"};
         }
-        int64_t ix = eval(*e.sub[1]).i;
-        if (ix < 0 || static_cast<size_t>(ix) >= slot->arr.size()) {
+        int64_t ix = eval_int(*e.sub[1]);
+        if (ix < 0 || static_cast<size_t>(ix) >= slot.arr.size()) {
           throw Fault{FaultKind::kBadIndex,
                       "out-of-bounds store to " + e.sub[0]->text};
         }
-        *arr_elem = &slot->arr[static_cast<size_t>(ix)];
-        elem_type_ = slot->elem_type;
+        *arr_elem = &slot.arr[static_cast<size_t>(ix)];
+        elem_type_ = slot.elem_type;
         return nullptr;
       }
       default:
@@ -544,11 +626,64 @@ class Machine {
   }
 
   // ---- calls ------------------------------------------------------------------
+  /// The port-I/O builtins the boot loops hammer, evaluated without the
+  /// argument vector or a boxed result. One definition serves both the
+  /// integer and the generic expression path; operand order, masking and
+  /// step counts match eval_builtin exactly. Callers that have not yet
+  /// stepped this node pass stepped=false. Returns false for every other
+  /// callee.
+  bool try_io_builtin(const Expr& e, int64_t& out, bool stepped = false) {
+    if (e.builtin_index < 0) return false;
+    auto in = [&](int width) {
+      if (!stepped) step(e.loc);
+      out = io_.io_in(static_cast<uint32_t>(eval_int(*e.sub[0])), width);
+    };
+    auto write = [&](uint32_t mask, int width) {
+      if (!stepped) step(e.loc);
+      uint32_t value = static_cast<uint32_t>(eval_int(*e.sub[0]));
+      uint32_t port = static_cast<uint32_t>(eval_int(*e.sub[1]));
+      io_.io_out(port, value & mask, width);
+      out = 0;
+    };
+    switch (static_cast<Builtin>(e.builtin_index)) {
+      case Builtin::kInb: in(8); return true;
+      case Builtin::kInw: in(16); return true;
+      case Builtin::kInl: in(32); return true;
+      case Builtin::kOutb: write(0xff, 8); return true;
+      case Builtin::kOutw: write(0xffff, 16); return true;
+      case Builtin::kOutl: write(0xffffffffu, 32); return true;
+      default:
+        return false;  // string/struct builtins take the generic path
+    }
+  }
+
   Value eval_call(const Expr& e) {
+    int64_t io_result;
+    if (try_io_builtin(e, io_result, /*stepped=*/true)) {
+      switch (static_cast<Builtin>(e.builtin_index)) {
+        case Builtin::kInb: return Value::integer(io_result,
+                                                  Type::int_type(8, false));
+        case Builtin::kInw: return Value::integer(io_result,
+                                                  Type::int_type(16, false));
+        case Builtin::kInl: return Value::integer(io_result,
+                                                  Type::int_type(32, false));
+        default: return Value::integer(io_result);
+      }
+    }
+
     std::vector<Value> args;
     args.reserve(e.sub.size());
     for (const auto& a : e.sub) args.push_back(eval(*a));
 
+    if (e.builtin_index >= 0) {
+      return eval_builtin(static_cast<Builtin>(e.builtin_index), e, args);
+    }
+    if (e.callee_index >= 0) {
+      return call_decl(unit_.functions[static_cast<size_t>(e.callee_index)],
+                       std::move(args));
+    }
+    // Unannotated call: only reachable when the unit bypassed the type
+    // checker, which Interp's contract forbids — resolve by name anyway.
     if (auto b = find_builtin(e.text)) return eval_builtin(*b, e, args);
     return call_function(e.text, std::move(args));
   }
@@ -627,13 +762,23 @@ class Machine {
 
   const Unit& unit_;
   IoEnvironment& io_;
+  uint64_t budget_;
   uint64_t steps_left_;
   RunOutcome& out_;
-  std::map<std::string, const StructDecl*> structs_;
-  std::map<std::string, const FunctionDecl*> functions_;
-  std::map<std::string, Slot> globals_;
-  /// Call frames; each frame is a stack of block scopes.
-  std::vector<std::vector<std::map<std::string, Slot>>> frames_;
+  /// Struct declarations by name (default_value only; member access is
+  /// index-resolved).
+  std::unordered_map<std::string, const StructDecl*> structs_;
+  /// Globals indexed by their position in Unit::globals (== the type
+  /// checker's global_slot).
+  std::vector<Slot> globals_;
+  /// Call frames; one flat slot vector per frame, sized by
+  /// FunctionDecl::frame_slots. Slot addresses stay stable across nested
+  /// calls because moving an inner vector keeps its heap buffer.
+  std::vector<std::vector<Slot>> frames_;
+  /// Retired frame vectors, kept to recycle their buffers.
+  std::vector<std::vector<Slot>> frame_pool_;
+  /// Value carried by an in-flight Flow::kReturn.
+  Value return_value_;
   int depth_ = 0;
   Type elem_type_ = Type::int_type();
 };
@@ -654,6 +799,8 @@ RunOutcome Interp::run(const std::string& entry) {
     out.fault = f.kind;
     out.fault_message = f.message;
   }
+  out.steps_used = m.steps_used();
+  out.executed_lines = out.executed.to_set();
   return out;
 }
 

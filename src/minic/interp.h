@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "minic/ast.h"
+#include "support/line_bitmap.h"
 
 namespace minic {
 
@@ -54,7 +55,11 @@ struct RunOutcome {
   int64_t return_value = 0;
   uint64_t steps_used = 0;
   /// 1-based source lines on which at least one statement (or case-label
-  /// comparison) executed. Drives the "dead code" classification.
+  /// comparison) executed. Drives the "dead code" classification. The
+  /// interpreter records into the bitmap (one word OR per statement); the
+  /// set is materialised from it once per run for callers that want ordered
+  /// iteration. Hot-path consumers (the campaign engine) query `executed`.
+  support::LineBitmap executed;
   std::set<uint32_t> executed_lines;
   std::vector<std::string> log;  // printk output, in order
 };

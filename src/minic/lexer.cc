@@ -318,10 +318,24 @@ class Scanner {
 }  // namespace
 
 LexOutput lex_unit(const support::SourceBuffer& buf,
-                   support::DiagnosticEngine& diags) {
+                   support::DiagnosticEngine& diags,
+                   const LexOptions& options) {
   LexOutput out;
   Scanner sc(buf, diags);
-  std::map<std::string, std::vector<Token>> macros;
+  sc.loc_.line += options.line_offset;
+  MacroTable& macros = out.macros;
+
+  // Definitions from the preceding buffer(s), consulted after local ones.
+  auto find_macro = [&](const std::string& name) -> const std::vector<Token>* {
+    if (auto it = macros.find(name); it != macros.end()) return &it->second;
+    if (options.seed_macros) {
+      if (auto it = options.seed_macros->find(name);
+          it != options.seed_macros->end()) {
+        return &it->second;
+      }
+    }
+    return nullptr;
+  };
 
   // File tag used by __FILE__ (the generated header name for Devil stubs).
   Token file_tok;
@@ -337,15 +351,14 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
         out.tokens.push_back(std::move(t));
         return;
       }
-      auto it = macros.find(tok.text);
-      if (it != macros.end()) {
+      if (const std::vector<Token>* body = find_macro(tok.text)) {
         if (depth > 16) {
           diags.error("MC013", tok.loc,
                       "macro expansion too deep (recursive #define?)");
           return;
         }
         out.macro_use_lines[tok.text].insert(tok.loc.line);
-        for (const Token& body_tok : it->second) {
+        for (const Token& body_tok : *body) {
           Token t = body_tok;
           t.loc = tok.loc;  // use-site location, as a C compiler reports
           self(t, self, depth + 1);
@@ -381,7 +394,7 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
         if (sc.peek() == '\n' || sc.peek() == '\0') break;
         body.push_back(sc.next_raw());
       }
-      if (macros.count(name.text)) {
+      if (find_macro(name.text)) {
         diags.error("MC016", name.loc,
                     "macro '" + name.text + "' redefined");
       }

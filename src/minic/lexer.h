@@ -12,6 +12,9 @@
 
 namespace minic {
 
+/// Object-macro definitions, name -> body token stream.
+using MacroTable = std::map<std::string, std::vector<Token>>;
+
 /// Result of preprocessing+lexing a translation unit.
 struct LexOutput {
   std::vector<Token> tokens;  // macro-expanded, ends with kEof
@@ -19,6 +22,23 @@ struct LexOutput {
   /// The evaluation harness needs this to decide whether a mutation inside a
   /// macro *definition* sits on an executed path (paper case 2, "dead code").
   std::map<std::string, std::set<uint32_t>> macro_use_lines;
+  /// Macros *defined by this buffer* (seed macros are not repeated). Feeding
+  /// these back through LexOptions::seed_macros lets a later buffer continue
+  /// lexing as if both were one concatenated unit.
+  MacroTable macros;
+};
+
+/// Options for lexing a buffer that is really the tail of a larger unit
+/// (the campaign engine lexes the invariant stub prefix once and re-lexes
+/// only the mutated driver tail per mutant).
+struct LexOptions {
+  /// Macros already defined by the preceding buffer(s). Not owned; must
+  /// outlive the call. May be null.
+  const MacroTable* seed_macros = nullptr;
+  /// Number of source lines preceding this buffer in the concatenated unit;
+  /// added to every token line so diagnostics and coverage agree with
+  /// whole-unit lexing.
+  uint32_t line_offset = 0;
 };
 
 /// Lexes and preprocesses a MiniC translation unit.
@@ -28,6 +48,7 @@ struct LexOutput {
 /// the buffer name as a string literal, which is how Devil debug stubs tag
 /// values with their origin (paper §2.3).
 [[nodiscard]] LexOutput lex_unit(const support::SourceBuffer& buf,
-                                 support::DiagnosticEngine& diags);
+                                 support::DiagnosticEngine& diags,
+                                 const LexOptions& options = {});
 
 }  // namespace minic

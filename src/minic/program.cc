@@ -1,10 +1,29 @@
 #include "minic/program.h"
 
+#include <algorithm>
+
 #include "minic/lexer.h"
 #include "minic/parser.h"
 #include "minic/typecheck.h"
 
 namespace minic {
+
+namespace {
+
+/// Parse + typecheck a finished token stream into `prog`.
+void finish_compile(Program& prog, std::vector<Token> tokens,
+                    std::map<std::string, std::set<uint32_t>> macro_use_lines) {
+  Parser parser(std::move(tokens), prog.diags);
+  auto unit = parser.parse();
+  if (!unit) return;
+  unit->macro_use_lines = std::move(macro_use_lines);
+
+  auto owned = std::make_unique<Unit>(std::move(*unit));
+  if (!typecheck(*owned, prog.diags)) return;
+  prog.unit = std::move(owned);
+}
+
+}  // namespace
 
 Program compile(const std::string& name, const std::string& source) {
   Program prog;
@@ -12,14 +31,51 @@ Program compile(const std::string& name, const std::string& source) {
   LexOutput lexed = lex_unit(buf, prog.diags);
   if (prog.diags.has_errors()) return prog;
 
-  Parser parser(std::move(lexed.tokens), prog.diags);
-  auto unit = parser.parse();
-  if (!unit) return prog;
-  unit->macro_use_lines = std::move(lexed.macro_use_lines);
+  finish_compile(prog, std::move(lexed.tokens),
+                 std::move(lexed.macro_use_lines));
+  return prog;
+}
 
-  auto owned = std::make_unique<Unit>(std::move(*unit));
-  if (!typecheck(*owned, prog.diags)) return prog;
-  prog.unit = std::move(owned);
+PreparedPrefix prepare_prefix(const std::string& name,
+                              const std::string& prefix_text) {
+  PreparedPrefix prefix;
+  prefix.name = name;
+  prefix.lines = static_cast<uint32_t>(
+      std::count(prefix_text.begin(), prefix_text.end(), '\n'));
+  support::SourceBuffer buf(name, prefix_text);
+  LexOutput lexed = lex_unit(buf, prefix.diags);
+  if (prefix.diags.has_errors()) return prefix;
+  // Drop the trailing kEof: the tail's tokens continue the stream.
+  if (!lexed.tokens.empty() && lexed.tokens.back().is(Tok::kEof)) {
+    lexed.tokens.pop_back();
+  }
+  prefix.tokens = std::move(lexed.tokens);
+  prefix.macros = std::move(lexed.macros);
+  prefix.macro_use_lines = std::move(lexed.macro_use_lines);
+  return prefix;
+}
+
+Program compile_with_prefix(const PreparedPrefix& prefix,
+                            const std::string& tail) {
+  Program prog;
+  support::SourceBuffer buf(prefix.name, tail);
+  LexOptions options;
+  options.seed_macros = &prefix.macros;
+  options.line_offset = prefix.lines;
+  LexOutput lexed = lex_unit(buf, prog.diags, options);
+  if (prog.diags.has_errors()) return prog;
+
+  std::vector<Token> tokens;
+  tokens.reserve(prefix.tokens.size() + lexed.tokens.size());
+  tokens.insert(tokens.end(), prefix.tokens.begin(), prefix.tokens.end());
+  tokens.insert(tokens.end(), std::make_move_iterator(lexed.tokens.begin()),
+                std::make_move_iterator(lexed.tokens.end()));
+
+  auto macro_uses = prefix.macro_use_lines;
+  for (auto& [name, lines] : lexed.macro_use_lines) {
+    macro_uses[name].insert(lines.begin(), lines.end());
+  }
+  finish_compile(prog, std::move(tokens), std::move(macro_uses));
   return prog;
 }
 

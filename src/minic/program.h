@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "minic/ast.h"
 #include "minic/interp.h"
+#include "minic/lexer.h"
 #include "support/diagnostics.h"
 
 namespace minic {
@@ -30,5 +32,38 @@ struct Program {
                                          const std::string& entry,
                                          IoEnvironment& io,
                                          uint64_t step_budget = 2'000'000);
+
+// ---------------------------------------------------------------------------
+// Token-level prefix cache.
+//
+// The mutation campaigns compile `stubs + driver` once per mutant while the
+// stubs never change. `prepare_prefix` lexes the invariant prefix once;
+// `compile_with_prefix` then re-lexes only the (mutated) driver tail and
+// splices the two token streams, producing a Program byte-identical to
+// `compile(name, prefix_text + tail)`.
+// ---------------------------------------------------------------------------
+
+/// The invariant head of a translation unit, lexed once. Thread-safe to
+/// share across concurrent `compile_with_prefix` calls (const access only).
+struct PreparedPrefix {
+  std::string name;               // unit name, doubles as __FILE__
+  uint32_t lines = 0;             // newline count of the prefix text
+  std::vector<Token> tokens;      // expanded prefix tokens, no kEof
+  MacroTable macros;              // #defines the prefix leaves in scope
+  std::map<std::string, std::set<uint32_t>> macro_use_lines;
+  support::DiagnosticEngine diags;
+
+  [[nodiscard]] bool ok() const { return !diags.has_errors(); }
+};
+
+/// Lexes `prefix_text` (possibly empty) under `name`.
+[[nodiscard]] PreparedPrefix prepare_prefix(const std::string& name,
+                                            const std::string& prefix_text);
+
+/// Compiles `prefix + tail` reusing the prefix token stream. `prefix` must
+/// be ok(); `tail` is lexed with the prefix's macros in scope and with line
+/// numbers continuing after the prefix.
+[[nodiscard]] Program compile_with_prefix(const PreparedPrefix& prefix,
+                                          const std::string& tail);
 
 }  // namespace minic

@@ -41,6 +41,10 @@ struct VarEntry {
   Type type;
   bool is_array = false;
   bool is_const = false;
+  bool is_global = false;
+  /// Frame slot (locals) or Unit::globals index (globals); -1 when the
+  /// declaration itself was erroneous.
+  int32_t slot = -1;
 };
 
 class Checker {
@@ -71,17 +75,18 @@ class Checker {
   }
 
   void collect_functions() {
-    for (const auto& fn : unit_.functions) {
+    for (size_t i = 0; i < unit_.functions.size(); ++i) {
+      const FunctionDecl& fn = unit_.functions[i];
       if (find_builtin(fn.name)) {
         diags_.error("MC111", fn.loc,
                      "function '" + fn.name + "' shadows a builtin");
         continue;
       }
-      if (functions_.count(fn.name)) {
+      if (function_index_.count(fn.name)) {
         diags_.error("MC111", fn.loc, "function '" + fn.name + "' redefined");
         continue;
       }
-      functions_[fn.name] = &fn;
+      function_index_[fn.name] = static_cast<int32_t>(i);
       validate_type(fn.return_type, fn.loc);
       for (const auto& p : fn.params) validate_type(p.type, p.loc);
     }
@@ -94,9 +99,11 @@ class Checker {
   }
 
   void check_globals() {
-    for (auto& g : unit_.globals) {
+    for (size_t i = 0; i < unit_.globals.size(); ++i) {
+      GlobalDecl& g = unit_.globals[i];
+      const int32_t global_index = static_cast<int32_t>(i);
       validate_type(g.type, g.loc);
-      if (globals_.count(g.name) || functions_.count(g.name)) {
+      if (globals_.count(g.name) || function_index_.count(g.name)) {
         diags_.error("MC111", g.loc, "'" + g.name + "' redefined");
         continue;
       }
@@ -123,7 +130,9 @@ class Checker {
           }
         }
       }
-      globals_[g.name] = VarEntry{g.type, g.array_size.has_value(), g.is_const};
+      globals_[g.name] =
+          VarEntry{g.type, g.array_size.has_value(), g.is_const,
+                   /*is_global=*/true, global_index};
     }
   }
 
@@ -137,13 +146,19 @@ class Checker {
     return g == globals_.end() ? nullptr : &g->second;
   }
 
-  void declare_local(const std::string& name, VarEntry entry,
-                     support::SourceLoc loc) {
+  /// Declares a local in the innermost scope, assigning it the next frame
+  /// slot. Returns the slot, or -1 on redefinition.
+  int32_t declare_local(const std::string& name, VarEntry entry,
+                        support::SourceLoc loc) {
     if (scopes_.back().count(name)) {
       diags_.error("MC111", loc, "variable '" + name + "' redefined");
-      return;
+      return -1;
     }
+    entry.is_global = false;
+    entry.slot = next_frame_slot_++;
+    int32_t slot = entry.slot;
     scopes_.back()[name] = std::move(entry);
+    return slot;
   }
 
   // ---- functions / statements ---------------------------------------------------
@@ -151,10 +166,12 @@ class Checker {
     current_fn_ = &fn;
     scopes_.clear();
     scopes_.emplace_back();
+    next_frame_slot_ = 0;
     for (const auto& p : fn.params) {
       declare_local(p.name, VarEntry{p.type, false, false}, p.loc);
     }
     check_stmt(*fn.body);
+    fn.frame_slots = static_cast<uint32_t>(next_frame_slot_);
     scopes_.clear();
     current_fn_ = nullptr;
   }
@@ -172,9 +189,9 @@ class Checker {
           Type t = check_expr(*s.expr[0]);
           require_assignable(s.decl_type, t, s.loc, "initialiser");
         }
-        declare_local(s.decl_name,
-                      VarEntry{s.decl_type, s.array_size.has_value(), false},
-                      s.loc);
+        s.frame_slot = declare_local(
+            s.decl_name, VarEntry{s.decl_type, s.array_size.has_value(), false},
+            s.loc);
         return;
       }
       case StmtKind::kBlock: {
@@ -299,6 +316,7 @@ class Checker {
                        "'" + e.text + "' undeclared (first use)");
           return Type::int_type();
         }
+        bind_ident(e, *v);
         return v->type;
       }
       case ExprKind::kUnary: {
@@ -372,8 +390,12 @@ class Checker {
         }
         auto it = structs_.find(base.struct_name);
         if (it == structs_.end()) return Type::int_type();
-        for (const auto& f : it->second->fields) {
-          if (f.name == e.text) return f.type;
+        const auto& fields = it->second->fields;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (fields[i].name == e.text) {
+            e.member_index = static_cast<int32_t>(i);
+            return fields[i].type;
+          }
         }
         diags_.error("MC105", e.loc,
                      "'struct " + base.struct_name + "' has no member named '" +
@@ -395,6 +417,7 @@ class Checker {
                        "subscripted value '" + e.sub[0]->text +
                            "' is not an array");
         }
+        if (v) bind_ident(*e.sub[0], *v);
         e.sub[0]->type = v ? v->type : Type::int_type();
         Type ix = check_expr(*e.sub[1]);
         if (!ix.is_integer()) {
@@ -436,11 +459,12 @@ class Checker {
     for (auto& a : e.sub) args.push_back(check_expr(*a));
 
     if (auto b = find_builtin(e.text)) {
+      e.builtin_index = static_cast<int32_t>(*b);
       return check_builtin_call(e, *b, args);
     }
 
-    auto it = functions_.find(e.text);
-    if (it == functions_.end()) {
+    auto it = function_index_.find(e.text);
+    if (it == function_index_.end()) {
       // Implicit declaration was a warning in C90 but calling an undefined
       // function fails at link time; either way the developer is told at
       // build time, so we classify it as a compile-time catch.
@@ -449,7 +473,8 @@ class Checker {
                        "'");
       return Type::int_type();
     }
-    const FunctionDecl& fn = *it->second;
+    e.callee_index = it->second;
+    const FunctionDecl& fn = unit_.functions[static_cast<size_t>(it->second)];
     if (args.size() != fn.params.size()) {
       std::ostringstream os;
       os << "function '" << e.text << "' expects " << fn.params.size()
@@ -558,13 +583,24 @@ class Checker {
     return Type::int_type();
   }
 
+  static void bind_ident(Expr& e, const VarEntry& v) {
+    if (v.is_global) {
+      e.global_slot = v.slot;
+    } else {
+      e.frame_slot = v.slot;
+    }
+  }
+
   Unit& unit_;
   support::DiagnosticEngine& diags_;
   std::map<std::string, const StructDecl*> structs_;
-  std::map<std::string, const FunctionDecl*> functions_;
+  /// Function name -> index into Unit::functions (the interpreter's callee
+  /// table); the decl itself is unit_.functions[index].
+  std::map<std::string, int32_t> function_index_;
   std::map<std::string, VarEntry> globals_;
   std::vector<std::map<std::string, VarEntry>> scopes_;
   const FunctionDecl* current_fn_ = nullptr;
+  int32_t next_frame_slot_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,59 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace support {
+
+unsigned resolve_threads(unsigned requested, size_t jobs) {
+  if (requested == 0) {
+    requested = std::thread::hardware_concurrency();
+    if (requested == 0) requested = 1;
+  }
+  if (jobs < requested) requested = static_cast<unsigned>(jobs);
+  return requested == 0 ? 1 : requested;
+}
+
+void parallel_for(size_t jobs, unsigned threads,
+                  const std::function<void(size_t)>& fn) {
+  threads = resolve_threads(threads, jobs);
+  if (threads <= 1) {
+    for (size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> cursor{0};
+  std::mutex error_mutex;
+  size_t first_error_index = std::numeric_limits<size_t>::max();
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace support

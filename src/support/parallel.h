@@ -1,0 +1,31 @@
+// Minimal deterministic fork-join helper for the mutation campaigns.
+//
+// The campaigns are embarrassingly parallel (one boot per mutant) but must
+// stay bit-for-bit reproducible at any thread count, so the pattern is:
+// workers pull indices from a shared atomic cursor and write results only
+// into per-index slots; every order-sensitive reduction happens on the
+// caller's thread after the join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace support {
+
+/// Number of worker threads actually used for `jobs` items when the caller
+/// asked for `requested` (0 = std::thread::hardware_concurrency, itself
+/// falling back to 1 when unknown). Never more threads than jobs, never 0.
+[[nodiscard]] unsigned resolve_threads(unsigned requested, size_t jobs);
+
+/// Runs fn(i) for every i in [0, jobs), distributed over
+/// `resolve_threads(threads, jobs)` workers (the calling thread is one of
+/// them; `threads` <= 1 degenerates to a plain loop, no thread is spawned).
+///
+/// Deterministic as long as fn writes only per-index state. If any fn(i)
+/// throws, all indices still run, and the exception of the *smallest*
+/// failing index is rethrown after the join — the same exception a serial
+/// loop that kept going would surface first.
+void parallel_for(size_t jobs, unsigned threads,
+                  const std::function<void(size_t)>& fn);
+
+}  // namespace support
