@@ -12,10 +12,116 @@
 #include "eval/driver_campaign.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
+#include "minic/bytecode/bytecode.h"
 #include "minic/program.h"
 #include "mutation/c_mutator.h"
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// E9 — Execution-engine step rate. A tight port-poll loop (the shape that
+// dominates step-limit-bound mutants) runs to budget exhaustion on each
+// engine; the counter is walker-equivalent steps per second. The bytecode
+// VM must hold >= 2x the tree walker (ctest does not enforce this, the
+// recorded BENCH_campaign.json does).
+// ---------------------------------------------------------------------------
+
+/// Device stuck busy: the poll loop never exits, burning the whole budget.
+class StuckBusyIo : public minic::IoEnvironment {
+ public:
+  uint32_t io_in(uint32_t, int) override { return 0x80; }
+  void io_out(uint32_t, uint32_t, int) override {}
+};
+
+const char* poll_loop_src() {
+  return R"(
+int spin() {
+  int n;
+  n = 0;
+  while (inb(0x1f7) & 0x80) {
+    n = n + 1;
+  }
+  return n;
+}
+)";
+}
+
+void step_rate_bench(benchmark::State& state, minic::ExecEngine engine) {
+  auto prog = minic::compile("spin.c", poll_loop_src());
+  const uint64_t budget = 5'000'000;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    StuckBusyIo io;
+    auto out = minic::run_unit(*prog.unit, io, "spin", budget, engine);
+    steps = out.steps_used;
+    benchmark::DoNotOptimize(out.fault);
+  }
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_VmStepRate(benchmark::State& state) {
+  step_rate_bench(state, minic::ExecEngine::kBytecodeVm);
+}
+BENCHMARK(BM_VmStepRate)->Unit(benchmark::kMillisecond);
+
+void BM_TreeWalkerStepRate(benchmark::State& state) {
+  step_rate_bench(state, minic::ExecEngine::kTreeWalker);
+}
+BENCHMARK(BM_TreeWalkerStepRate)->Unit(benchmark::kMillisecond);
+
+void BM_BytecodeLowerCDevilUnit(benchmark::State& state) {
+  // Per-mutant cost the VM path adds on top of the front end.
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  auto prog = minic::compile("ide.dil",
+                             spec.stubs + "\n" + corpus::cdevil_ide_driver());
+  for (auto _ : state) {
+    auto module = minic::bytecode::compile_unit(*prog.unit);
+    benchmark::DoNotOptimize(module.fns.size());
+  }
+}
+BENCHMARK(BM_BytecodeLowerCDevilUnit);
+
+// ---------------------------------------------------------------------------
+// E10 — Campaign throughput per engine (CDevil, 1 thread, dedup on): the
+// end-to-end effect of swapping the execution engine.
+// ---------------------------------------------------------------------------
+
+void campaign_engine_bench(benchmark::State& state,
+                           minic::ExecEngine engine) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  eval::DriverCampaignConfig cfg;
+  cfg.stubs = spec.stubs;
+  cfg.driver = corpus::cdevil_ide_driver();
+  cfg.is_cdevil = true;
+  cfg.threads = 1;
+  cfg.engine = engine;
+  size_t mutants = 0, deduped = 0;
+  for (auto _ : state) {
+    auto res = eval::run_ide_campaign(cfg);
+    mutants = res.sampled_mutants;
+    deduped = res.deduped_mutants;
+    benchmark::DoNotOptimize(res.tally.total_mutants);
+  }
+  state.counters["mutants"] = static_cast<double>(mutants);
+  state.counters["deduped"] = static_cast<double>(deduped);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(mutants * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CampaignVm(benchmark::State& state) {
+  campaign_engine_bench(state, minic::ExecEngine::kBytecodeVm);
+}
+BENCHMARK(BM_CampaignVm)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CampaignTreeWalker(benchmark::State& state) {
+  campaign_engine_bench(state, minic::ExecEngine::kTreeWalker);
+}
+BENCHMARK(BM_CampaignTreeWalker)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_DevilCompileSpec(benchmark::State& state) {
   for (auto _ : state) {

@@ -3,7 +3,7 @@
 // driver observed — capacity, partition table and filesystem — plus the
 // first I/O bus transactions.
 //
-// Usage: ide_boot [--production] [--c-driver]
+// Usage: ide_boot [--production] [--c-driver] [--walker]
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -17,9 +17,13 @@
 
 int main(int argc, char** argv) {
   bool production = false, use_c = false;
+  auto engine = minic::ExecEngine::kBytecodeVm;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--production") == 0) production = true;
     if (std::strcmp(argv[i], "--c-driver") == 0) use_c = true;
+    if (std::strcmp(argv[i], "--walker") == 0) {
+      engine = minic::ExecEngine::kTreeWalker;
+    }
   }
 
   std::string unit, name;
@@ -46,7 +50,8 @@ int main(int argc, char** argv) {
   auto disk = std::make_shared<hw::IdeDisk>();
   bus.map(0x1f0, 8, disk);
 
-  auto out = minic::compile_and_run(name, unit, "ide_boot", bus, 3'000'000);
+  auto out =
+      minic::compile_and_run(name, unit, "ide_boot", bus, 3'000'000, engine);
   if (out.fault != minic::FaultKind::kNone) {
     std::printf("boot FAILED: %s\n", out.fault_message.c_str());
     return 1;

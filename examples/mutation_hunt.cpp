@@ -24,6 +24,8 @@
 
 namespace {
 
+minic::ExecEngine g_engine = minic::ExecEngine::kBytecodeVm;
+
 void report(const char* label, const std::string& name,
             const std::string& unit) {
   std::printf("%s\n", label);
@@ -36,8 +38,8 @@ void report(const char* label, const std::string& name,
   hw::IoBus bus;
   auto disk = std::make_shared<hw::IdeDisk>();
   bus.map(0x1f0, 8, disk);
-  minic::Interp interp(*prog.unit, bus, 3'000'000);
-  auto out = interp.run("ide_boot");
+  auto out = minic::run_unit(*prog.unit, bus, "ide_boot", 3'000'000,
+                             g_engine);
   switch (out.fault) {
     case minic::FaultKind::kNone:
       std::printf("  -> NOT DETECTED: kernel boots (fingerprint %lld%s)\n\n",
@@ -68,10 +70,12 @@ std::string replace_once(std::string text, const std::string& from,
 /// prints the paper's Tables 3/4 plus the headline comparison.
 int run_campaigns(unsigned threads) {
   std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
-              "cores)...\n\n", threads);
+              "cores, %s engine)...\n\n",
+              threads, minic::exec_engine_name(g_engine));
   eval::DriverCampaignConfig c_cfg;
   c_cfg.driver = corpus::c_ide_driver();
   c_cfg.threads = threads;
+  c_cfg.engine = g_engine;
   auto c_res = eval::run_ide_campaign(c_cfg);
 
   auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
@@ -85,6 +89,7 @@ int run_campaigns(unsigned threads) {
   d_cfg.driver = corpus::cdevil_ide_driver();
   d_cfg.is_cdevil = true;
   d_cfg.threads = threads;
+  d_cfg.engine = g_engine;
   auto d_res = eval::run_ide_campaign(d_cfg);
 
   std::printf("%s\n", eval::render_driver_table("Table 3: original C driver",
@@ -98,6 +103,13 @@ int run_campaigns(unsigned threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --walker selects the tree-walker oracle instead of the bytecode VM;
+  // results are identical, only the wall-clock changes.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--walker") == 0) {
+      g_engine = minic::ExecEngine::kTreeWalker;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       return run_campaigns(

@@ -2,11 +2,14 @@
 
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
+#include "minic/lexer.h"
 #include "minic/program.h"
 #include "mutation/c_mutator.h"
+#include "support/line_bitmap.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -64,24 +67,67 @@ Outcome classify_fault(minic::FaultKind kind) {
 }
 
 /// Everything invariant across mutants, computed once per campaign and
-/// shared read-only by all workers.
+/// shared read-only by all workers (the disk pool is internally locked).
 struct PreparedCampaign {
   const DriverCampaignConfig* config = nullptr;
   minic::PreparedPrefix prefix;  // stubs lexed once
   std::vector<mutation::Site> sites;
   std::vector<mutation::Mutant> mutants;
   int64_t clean_fingerprint = 0;
+  mutable hw::IdeDiskPool disk_pool;
 };
 
+/// The site-independent residue of one compile+boot, kept only for mutants
+/// that canonical duplicates will be classified from.
+struct BootSnapshot {
+  bool clean = false;       // booted without fault, disk intact, right view
+  Outcome outcome = Outcome::kCompileTime;  // valid when !clean
+  std::string detail;
+  support::LineBitmap executed;
+  std::map<std::string, std::set<uint32_t>> macro_use_lines;
+};
+
+/// Dead-code vs boot classification for a cleanly booting mutant: executed
+/// iff the mutated token's line ran (for a site inside a #define body, iff
+/// any use of that macro sits on an executed line).
+Outcome classify_clean(const PreparedCampaign& prep, const mutation::Site& site,
+                       const support::LineBitmap& executed,
+                       const std::map<std::string, std::set<uint32_t>>&
+                           macro_use_lines) {
+  bool ran;
+  if (!site.define_name.empty()) {
+    ran = false;
+    auto uses = macro_use_lines.find(site.define_name);
+    if (uses != macro_use_lines.end()) {
+      for (uint32_t use_line : uses->second) {
+        if (executed.test(use_line)) {
+          ran = true;
+          break;
+        }
+      }
+    }
+  } else {
+    ran = executed.test(site.line + prep.prefix.lines);
+  }
+  return ran ? Outcome::kBoot : Outcome::kDeadCode;
+}
+
 /// The pure per-mutant kernel: splice, compile (reusing the prefix token
-/// stream), boot, classify. Touches nothing but its own locals and the
-/// read-only `prep`, so any number of these can run concurrently.
-MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix) {
+/// stream), boot on the configured engine, classify. Touches nothing but
+/// its own locals and the read-only `prep` (plus the locked disk pool), so
+/// any number of these can run concurrently. When `snap` is non-null the
+/// site-independent boot residue is captured for duplicate classification.
+MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
+                            BootSnapshot* snap,
+                            std::string pre_spliced = {}) {
   const DriverCampaignConfig& config = *prep.config;
   const mutation::Mutant& m = prep.mutants[mutant_ix];
   const mutation::Site& site = prep.sites[m.site];
+  // The dedup key phase already spliced this mutant; reuse its string.
   std::string mutated_driver =
-      mutation::apply_mutant(config.driver, prep.sites, m);
+      pre_spliced.empty()
+          ? mutation::apply_mutant(config.driver, prep.sites, m)
+          : std::move(pre_spliced);
 
   MutantRecord rec;
   rec.mutant_index = mutant_ix;
@@ -94,18 +140,23 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix) {
     if (!prog.diags.all().empty()) {
       rec.detail = prog.diags.all().front().to_string();
     }
+    if (snap) {
+      snap->outcome = rec.outcome;
+      snap->detail = rec.detail;
+    }
     return rec;
   }
 
   hw::IoBus bus;
-  auto disk = std::make_shared<hw::IdeDisk>();
+  auto disk = prep.disk_pool.acquire();
   bus.map(0x1f0, 8, disk);
-  minic::Interp interp(*prog.unit, bus, config.step_budget);
-  auto run = interp.run(config.entry);
+  auto run = minic::run_unit(*prog.unit, bus, config.entry,
+                             config.step_budget, config.engine);
 
   if (run.fault == minic::FaultKind::kInternal) {
     throw std::logic_error("interpreter bug on mutant: " + run.fault_message);
   }
+  bool clean = false;
   if (run.fault != minic::FaultKind::kNone) {
     rec.outcome = classify_fault(run.fault);
     rec.detail = run.fault_message;
@@ -117,28 +168,89 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix) {
     rec.detail = disk->damaged() ? disk->damage_note()
                                  : "wrong boot fingerprint";
   } else {
-    // Healthy boot: dead code iff the mutated token never executed.
-    uint32_t unit_line = site.line + prep.prefix.lines;
-    bool executed;
-    if (!site.define_name.empty()) {
-      // Site inside a #define body: executed iff any use of the macro
-      // sits on an executed line.
-      executed = false;
-      auto uses = prog.unit->macro_use_lines.find(site.define_name);
-      if (uses != prog.unit->macro_use_lines.end()) {
-        for (uint32_t use_line : uses->second) {
-          if (run.executed.test(use_line)) {
-            executed = true;
-            break;
-          }
-        }
-      }
-    } else {
-      executed = run.executed.test(unit_line);
+    clean = true;
+    rec.outcome = classify_clean(prep, site, run.executed,
+                                 prog.unit->macro_use_lines);
+  }
+  if (snap) {
+    snap->clean = clean;
+    snap->outcome = rec.outcome;
+    snap->detail = rec.detail;
+    if (clean) {
+      snap->executed = std::move(run.executed);
+      snap->macro_use_lines = std::move(prog.unit->macro_use_lines);
     }
-    rec.outcome = executed ? Outcome::kBoot : Outcome::kDeadCode;
+  }
+  // Drop the bus mapping before recycling the disk.
+  bus = hw::IoBus();
+  prep.disk_pool.release(std::move(disk));
+  return rec;
+}
+
+/// Classifies a canonical duplicate from its representative's boot residue
+/// against the duplicate's *own* site (stream-identical mutants at
+/// different sites can legitimately differ between Boot and Dead code).
+MutantRecord classify_duplicate(const PreparedCampaign& prep, size_t mutant_ix,
+                                const BootSnapshot& snap) {
+  const mutation::Mutant& m = prep.mutants[mutant_ix];
+  MutantRecord rec;
+  rec.mutant_index = mutant_ix;
+  rec.site = m.site;
+  rec.deduped = true;
+  if (snap.clean) {
+    rec.outcome = classify_clean(prep, prep.sites[m.site], snap.executed,
+                                 snap.macro_use_lines);
+  } else {
+    rec.outcome = snap.outcome;
+    rec.detail = snap.detail;
   }
   return rec;
+}
+
+/// Canonical token-class key of a spliced mutant: the lexed (macro-expanded)
+/// token stream — kind, line, integer value, spelling for identifiers and
+/// strings — plus the macro-use lines the dead-code classification reads.
+/// Two mutants with equal keys compile identically and boot identically
+/// (spellings that differ only in column positions cannot affect runtime
+/// behaviour; runtime messages carry lines, never columns).
+std::string canonical_key(const PreparedCampaign& prep,
+                          const std::string& mutated_driver) {
+  support::DiagnosticEngine diags;
+  support::SourceBuffer buf(prep.prefix.name, mutated_driver);
+  minic::LexOptions options;
+  options.seed_macros = &prep.prefix.macros;
+  options.line_offset = prep.prefix.lines;
+  minic::LexOutput lexed = minic::lex_unit(buf, diags, options);
+  if (diags.has_errors()) {
+    // Unlexable mutants keep a raw-text key: their diagnostics may cite
+    // spelling-specific columns, so only byte-identical splices dedup.
+    return "!" + mutated_driver;
+  }
+  std::string key;
+  key.reserve(lexed.tokens.size() * 8);
+  auto put_u32 = [&key](uint32_t v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  for (const minic::Token& t : lexed.tokens) {
+    key.push_back(static_cast<char>(t.kind));
+    put_u32(t.loc.line);
+    if (t.kind == minic::Tok::kIntLit) {
+      uint64_t v = t.int_value;
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    } else if (t.kind == minic::Tok::kIdent ||
+               t.kind == minic::Tok::kStringLit) {
+      key.append(t.text);
+      key.push_back('\0');
+    }
+  }
+  key.push_back('|');
+  for (const auto& [name, lines] : lexed.macro_use_lines) {
+    key.append(name);
+    key.push_back('\0');
+    for (uint32_t line : lines) put_u32(line);
+    key.push_back('\0');
+  }
+  return key;
 }
 
 }  // namespace
@@ -168,10 +280,10 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
   DriverCampaignResult result;
   {
     hw::IoBus bus;
-    auto disk = std::make_shared<hw::IdeDisk>();
+    auto disk = prep.disk_pool.acquire();
     bus.map(0x1f0, 8, disk);
-    minic::Interp interp(*clean.unit, bus, config.step_budget);
-    auto run = interp.run(config.entry);
+    auto run = minic::run_unit(*clean.unit, bus, config.entry,
+                               config.step_budget, config.engine);
     if (run.fault != minic::FaultKind::kNone) {
       throw std::logic_error("unmutated driver faults at boot: " +
                              run.fault_message);
@@ -184,6 +296,8 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
       throw std::logic_error("unmutated driver damaged the disk");
     }
     result.clean_fingerprint = run.return_value;
+    bus = hw::IoBus();
+    prep.disk_pool.release(std::move(disk));
   }
   prep.clean_fingerprint = result.clean_fingerprint;
 
@@ -202,14 +316,59 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
                                           config.sample_percent, config.seed);
   result.sampled_mutants = selected.size();
 
-  // --- per-mutant compile + boot (parallel map) ----------------------------------
-  // Workers write only their own records[i]; the order-sensitive tally
-  // reduction happens after the join, so the result is identical at any
+  // --- canonical dedup (phases 1-2) ----------------------------------------------
+  // Keys are computed in parallel (per-index writes only); the first-seen
+  // mapping is built sequentially afterwards, so it is deterministic at any
   // thread count.
+  std::vector<size_t> dup_of(selected.size(), static_cast<size_t>(-1));
+  std::vector<uint8_t> wants_snapshot(selected.size(), 0);
+  std::vector<std::string> spliced(config.dedup ? selected.size() : 0);
+  if (config.dedup && !selected.empty()) {
+    std::vector<std::string> keys(selected.size());
+    support::parallel_for(selected.size(), config.threads, [&](size_t i) {
+      spliced[i] = mutation::apply_mutant(config.driver, prep.sites,
+                                          prep.mutants[selected[i]]);
+      keys[i] = canonical_key(prep, spliced[i]);
+    });
+    std::unordered_map<std::string, size_t> first_seen;
+    first_seen.reserve(selected.size());
+    for (size_t i = 0; i < selected.size(); ++i) {
+      auto [it, inserted] = first_seen.emplace(std::move(keys[i]), i);
+      if (!inserted) {
+        dup_of[i] = it->second;
+        wants_snapshot[it->second] = 1;
+        ++result.deduped_mutants;
+      }
+    }
+  }
+
+  // --- per-mutant compile + boot (phase 3, parallel map) --------------------------
+  // Workers write only their own records[i] / snapshot slots; the
+  // order-sensitive tally reduction happens after the join, so the result
+  // is identical at any thread count.
   result.records.resize(selected.size());
-  support::parallel_for(selected.size(), config.threads, [&](size_t i) {
-    result.records[i] = run_one_mutant(prep, selected[i]);
+  std::vector<BootSnapshot> snapshots(config.dedup ? selected.size() : 0);
+  std::vector<size_t> unique_ix;
+  unique_ix.reserve(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (dup_of[i] == static_cast<size_t>(-1)) unique_ix.push_back(i);
+  }
+  support::parallel_for(unique_ix.size(), config.threads, [&](size_t u) {
+    size_t i = unique_ix[u];
+    BootSnapshot* snap = wants_snapshot[i] ? &snapshots[i] : nullptr;
+    result.records[i] = run_one_mutant(
+        prep, selected[i], snap,
+        config.dedup ? std::move(spliced[i]) : std::string());
   });
+
+  // --- duplicate classification (phase 4, sequential) -----------------------------
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (dup_of[i] != static_cast<size_t>(-1)) {
+      result.records[i] =
+          classify_duplicate(prep, selected[i], snapshots[dup_of[i]]);
+    }
+  }
+
   for (const MutantRecord& rec : result.records) {
     result.tally.add(rec.outcome, rec.site);
   }

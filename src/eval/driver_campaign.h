@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eval/outcome.h"
+#include "minic/program.h"
 #include "mutation/site.h"
 
 namespace eval {
@@ -31,6 +32,16 @@ struct DriverCampaignConfig {
   /// identical at any thread count (records stay in mutant-index order and
   /// the tally is reduced after the join).
   unsigned threads = 1;
+  /// Execution engine for mutant boots. Both engines yield byte-identical
+  /// campaign results (ctest-enforced); the bytecode VM is the fast
+  /// default, the tree walker the differential oracle.
+  minic::ExecEngine engine = minic::ExecEngine::kBytecodeVm;
+  /// Skip compiling/booting mutants whose spliced unit lexes to a token
+  /// stream already seen this campaign (canonical token-class hash:
+  /// token kinds, values and lines, plus macro-use lines). Duplicates stay
+  /// visible in the records — classified against their own site from the
+  /// representative's boot — and tallies are unchanged.
+  bool dedup = true;
 };
 
 struct MutantRecord {
@@ -38,12 +49,16 @@ struct MutantRecord {
   size_t site = 0;
   Outcome outcome = Outcome::kCompileTime;
   std::string detail;       // fault message / diagnostic code, when any
+  /// True when this mutant's unit was a canonical duplicate: its outcome
+  /// was classified from the representative's boot without recompiling.
+  bool deduped = false;
 };
 
 struct DriverCampaignResult {
   size_t total_sites = 0;
   size_t total_mutants = 0;    // before sampling
   size_t sampled_mutants = 0;
+  size_t deduped_mutants = 0;  // sampled mutants that skipped compile+boot
   Tally tally;
   int64_t clean_fingerprint = 0;
   std::vector<MutantRecord> records;  // one per sampled mutant

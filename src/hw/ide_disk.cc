@@ -1,5 +1,6 @@
 #include "hw/ide_disk.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace hw {
@@ -68,7 +69,10 @@ void IdeDisk::build_identify() {
 }
 
 void IdeDisk::reset() {
-  image_ = pristine_;
+  // The pristine copy is only needed when a boot actually wrote the disk;
+  // clean boots (the overwhelming majority of campaign mutants) reset with
+  // a plain register wipe.
+  if (disk_written_) image_ = pristine_;
   error_ = 0;
   features_ = 0;
   nsector_ = 1;
@@ -86,6 +90,31 @@ void IdeDisk::reset() {
   partition_destroyed_ = false;
   protocol_violations_ = 0;
   sectors_read_ = 0;
+}
+
+std::shared_ptr<IdeDisk> IdeDiskPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::shared_ptr<IdeDisk> disk = std::move(free_.back());
+      free_.pop_back();
+      disk->reset();
+      return disk;
+    }
+  }
+  return std::make_shared<IdeDisk>();
+}
+
+void IdeDiskPool::release(std::shared_ptr<IdeDisk> disk) {
+  if (!disk) return;
+  // A disk someone else still references (e.g. an IoBus mapping that was
+  // not dropped first) must not re-enter the pool: a later acquire() would
+  // hand the same device to a concurrent boot. Fail loud in debug builds
+  // and simply let the disk die (never reuse it) otherwise.
+  assert(disk.use_count() == 1 && "release() while the disk is still mapped");
+  if (disk.use_count() != 1) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(disk));
 }
 
 std::string IdeDisk::damage_note() const {

@@ -1,0 +1,230 @@
+// Register bytecode for MiniC: the campaign execution engine.
+//
+// `compile_unit` lowers a typechecked `minic::Unit` into flat per-function
+// instruction vectors; `Vm` (vm.h) executes them with a dense dispatch loop.
+// The contract with the tree walker (interp.cc) is exact observational
+// equivalence: identical RunOutcome — fault kind *and* message, return
+// value, step count, executed-line bitmap, printk log — for any typechecked
+// unit. The campaign engine runs the VM by default and keeps the tree
+// walker as a differential oracle (tests/test_bytecode_vm.cc).
+//
+// Step-accounting model. The tree walker charges one step per AST node
+// visit (statements at exec() entry, expressions at eval()/eval_int()
+// entry, loop statements once more per iteration). The bytecode preserves
+// the charge count on every control path by construction:
+//   - every *charging* opcode corresponds to exactly one walker node visit
+//     and carries that node's source line (reported on budget exhaustion);
+//   - pure control-flow helpers (jumps, result moves) are *free* — they
+//     never touch the budget;
+//   - fused superinstructions (kInConst, kBinImm, kOpStoreLocalImm,
+//     kStepStepMark) charge once per fused node and are only emitted when
+//     all fused nodes sit on the same source line, so the exhaustion
+//     message cannot differ from the walker's.
+// Line-coverage marks (kStepMark, kMark, kCaseTest, kDecl*) mirror the
+// walker's mark_line calls one for one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace minic::bytecode {
+
+// Charging discipline per opcode is given in the comment: C = charges one
+// step, CC = charges two (fused, same line), C+n = charges 1 plus a dynamic
+// burn, M = marks the line executed, F = free (no charge, no mark).
+enum class Op : uint8_t {
+  // --- statement accounting -----------------------------------------------
+  kStep,          // C    : statement entry without coverage (block, loops)
+  kStepMark,      // C M  : statement entry with coverage
+  kStepStepMark,  // CC M : fused kStep(line) + kStepMark(imm line)
+  kStepJump,      // C    : fused kStep + unconditional jump (empty loop body)
+  kMark,          // F M  : coverage only (global initialisers, case labels)
+  // --- control flow --------------------------------------------------------
+  kJump,          // F    : pc = imm
+  kJumpIfZero,    // F    : if R[a].i == 0 jump imm
+  kJumpIfNotZero, // F    : if R[a].i != 0 jump imm
+  kJumpIfEqual,   // F    : if R[a].i == R[b].i jump imm (generic case label)
+  kCaseTest,      // C M  : R[b].i = (R[a].i == imm); constant case label
+  kCondJumpZero,  // C    : ?: node charge; if R[a].i == 0 jump imm
+  kAndJump,       // C    : && node; if R[b].i == 0 { R[a].i = 0; jump imm }
+  kOrJump,        // C    : || node; if R[b].i != 0 { R[a].i = 1; jump imm }
+  kBoolNorm,      // F    : R[a].i = R[b].i != 0
+  // --- loads / moves -------------------------------------------------------
+  kLoadConst,       // C : R[a].i = imm
+  kLoadStr,         // C : R[a].s = strings[imm]
+  kMoveInt,         // C : R[a].i = R[b].i  (ident rvalue, unary +, wide cast)
+  kMoveStr,         // C : R[a].s = R[b].s
+  kMoveStruct,      // C : R[a].fields = R[b].fields
+  kCopyInt,         // F : R[a].i = R[b].i  (assignment-expression result)
+  kCopyStr,         // F
+  kCopyStruct,      // F
+  kLoadGlobalInt,   // C : R[a].i = G[b].i
+  kLoadGlobalStr,   // C
+  kLoadGlobalStruct,// C
+  kLoadElemLocal,   // C : R[a].i = R[b].arr[R[c].i]; imm = site name (faults)
+  kLoadElemGlobal,  // C : R[a].i = G[b].arr[R[c].i]
+  kGetFieldInt,     // C : R[a].i = R[b].fields[c].i (0 when absent)
+  kGetFieldStr,     // C
+  kGetFieldStruct,  // C
+  kTakeStored,      // F : R[a].i = last value committed by a store opcode
+  // --- arithmetic (a = dst, b/c = operands; all C) -------------------------
+  kNeg, kBitNot, kLogNot,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kCmpEq, kCmpNe, kCmpLt, kCmpGt, kCmpLe, kCmpGe,
+  kBinImm,          // CC : R[a].i = R[b].i <w-op> imm (fused const operand)
+  kCoerce,          // C  : R[a].i = coerce(R[b].i, w)  (integer cast)
+  // Poll-loop superinstructions (all operand nodes on one line):
+  kInConstAnd,      // CCCC : R[a].i = io_in(port, w) & mask; imm packs
+                    //        port | mask<<32; the I/O happens after the
+                    //        third charge, exactly as the walker interleaves
+  kPollInAnd,       // C M + CCCC : kStepMark fused with kInConstAnd — one
+                    //        dispatch for a `while (inb(P) & M)` iteration
+  kStoreSlotBinImm, // CCCC : R[a].i = coerce(R[b].i <w-op> imm, c) — the
+                    //        `n = n + 1` statement body in one dispatch
+  // --- stores (the kAssign node's charge lives on the store) ---------------
+  kStoreLocalInt,   // C : R[a].i = coerce(R[b].i, w)
+  kStoreLocalStr,   // C
+  kStoreLocalStruct,// C
+  kStoreGlobalInt,  // C : G[a].i = coerce(R[b].i, w)
+  kStoreGlobalStr,  // C
+  kStoreGlobalStruct,// C
+  kOpStoreLocal,    // C  : R[a].i = coerce(R[a].i <c-op> R[b].i, w)
+  kOpStoreGlobal,   // C
+  kOpStoreLocalImm, // CC : R[a].i = coerce(R[a].i <c-op> imm, w) (fused)
+  kOpStoreGlobalImm,// CC
+  kStoreElemLocal,  // C : R[a].arr[R[b].i] = coerce(R[c].i, w); imm = name
+  kStoreElemGlobal, // C
+  kOpStoreElemLocal, // C : compound form; imm packs name/op (see PackedElemOp)
+  kOpStoreElemGlobal,// C
+  kStoreFieldLocalInt,   // C : R[a].fields[b] = coerce(R[c].i, w)
+  kStoreFieldGlobalInt,  // C
+  kStoreFieldLocalStr,   // C
+  kStoreFieldGlobalStr,  // C
+  kStoreFieldLocalStruct,// C
+  kStoreFieldGlobalStruct,// C
+  kOpStoreFieldLocal,    // C : field compound; c-op, w coercion
+  kOpStoreFieldGlobal,   // C
+  // free store variants (declaration / global initialisers: the charge was
+  // already taken by the kStepMark / the initialiser expression)
+  kStoreLocalIntF, kStoreLocalStrF, kStoreLocalStructF,
+  kStoreGlobalIntF, kStoreGlobalStrF, kStoreGlobalStructF,
+  kStoreGFieldIntF,  // F : G[a].fields[b] = coerce(R[c].i, w) (brace inits)
+  kStoreGFieldStrF,
+  kStoreGFieldStructF,
+  // --- declarations --------------------------------------------------------
+  kDeclIntZ,        // C M : R[a].i = 0
+  kDeclStrZ,        // C M : R[a].s.clear()
+  kDeclStructZ,     // C M : R[a].fields = struct_defaults[imm]
+  kDeclArr,         // C M : R[a].arr.assign(imm, 0)
+  kInitGlobalArr,   // F   : G[a].arr.assign(imm, 0)
+  // --- calls ---------------------------------------------------------------
+  kCall,            // C : R[a] = fns[b](R[c..c+imm-1])
+  kRet,             // F : return R[a] to the caller's dst register
+  kRetZero,         // F : return integer 0 (fall-off-the-end / `return;`)
+  // --- builtins (each C = the call node's charge) --------------------------
+  kIn,              // C  : R[a].i = io_in(R[b].i, w)
+  kInConst,         // CC : R[a].i = io_in(imm, w) (fused constant port)
+  kOut,             // C  : io_out(R[b].i, R[a].i & width_mask, w)
+  kPanic,           // C  : throw panic/Devil assertion with R[a].s
+  kPrintk,          // C  : log R[a].s
+  kStrcmp,          // C  : R[a].i = R[b].s.compare(R[c].s)
+  kUdelay,          // C+n: burn clamp(R[a].i, 0, 10000) extra steps
+  kDilEqInt,        // C  : R[a].i = R[b].i == R[c].i
+  kDilEqStruct,     // C  : debug-mode dil_eq with type-tag assertion
+  kDilValInt,       // C  : R[a].i = R[b].i
+  kDilValStruct,    // C  : R[a].i = R[b].fields[2].i (0 when absent)
+  kUnreachable,     // C  : throw Fault{kInternal, strings[imm]}
+};
+
+/// One instruction. `w` packs an integer coercion (bits | 0x80 when signed)
+/// or a binary-operator code (`Tok`), depending on the opcode; `line` is the
+/// source line charged/marked/reported; jump targets live in `imm`.
+///
+/// `flags` bit 0 marks the instruction *free*: its node's charge was
+/// emitted earlier as an explicit kStep. The walker charges a parent node
+/// before its children (pre-order); when a child subtree can charge on a
+/// different line (a user-call body, a multi-line operand), delaying the
+/// parent's charge to the action instruction would shift the observable
+/// exhaustion point, so the compiler pre-charges and frees the action.
+struct Insn {
+  Op op = Op::kRetZero;
+  uint8_t w = 0;
+  uint8_t flags = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint16_t c = 0;
+  uint32_t line = 0;
+  int64_t imm = 0;
+};
+
+inline constexpr uint8_t kInsnFree = 1;
+
+/// Integer coercion descriptor: low 7 bits = width, bit 7 = signed.
+/// Width 0 means "no narrowing" (>= 64-bit or non-integer destination).
+[[nodiscard]] inline uint8_t pack_coerce(const Type& t) {
+  if (!t.is_integer() || t.bits >= 64) return 0;
+  return static_cast<uint8_t>((t.bits & 0x7f) | (t.is_signed ? 0x80 : 0));
+}
+
+/// kOpStoreElem* can't fit name-index, operator and coercion in the fixed
+/// fields, so they share `imm`.
+struct PackedElemOp {
+  static int64_t pack(uint32_t name_ix, uint8_t op, uint8_t coerce) {
+    return static_cast<int64_t>((static_cast<uint64_t>(name_ix) << 16) |
+                                (static_cast<uint64_t>(op) << 8) | coerce);
+  }
+  static uint32_t name_ix(int64_t v) {
+    return static_cast<uint32_t>(static_cast<uint64_t>(v) >> 16);
+  }
+  static uint8_t op(int64_t v) { return static_cast<uint8_t>(v >> 8); }
+  static uint8_t coerce(int64_t v) { return static_cast<uint8_t>(v); }
+};
+
+/// Runtime value: one register / global / struct field. The integer hot
+/// path touches only `i`; the string / struct / array payloads exist for
+/// the Devil debug stubs and driver buffers. Registers are persistent
+/// storage (pooled frames), so writing an int never constructs or frees
+/// anything.
+struct VmValue {
+  int64_t i = 0;
+  std::string s;
+  std::vector<VmValue> fields;
+  std::vector<int64_t> arr;
+};
+
+struct ParamSpec {
+  enum class Kind : uint8_t { kInt, kStr, kStruct };
+  Kind kind = Kind::kInt;
+  uint8_t coerce = 0;  // pack_coerce of the declared parameter type
+};
+
+struct CompiledFunction {
+  std::string name;
+  uint32_t nslots = 0;  // frame slots assigned by the type checker
+  uint32_t nregs = 0;   // nslots + expression temporaries
+  std::vector<ParamSpec> params;
+  std::vector<Insn> code;
+};
+
+/// A compiled unit. Function order matches `Unit::functions`, so the type
+/// checker's `callee_index` annotations double as bytecode function ids.
+struct Module {
+  std::vector<CompiledFunction> fns;
+  CompiledFunction globals_init;  // runs before the entry call
+  size_t global_count = 0;
+  std::unordered_map<std::string, uint32_t> fn_index;
+  std::vector<std::string> strings;  // literals, fault-site names, messages
+  std::vector<std::vector<VmValue>> struct_defaults;
+};
+
+/// Lowers a typechecked unit. Throws minic::Fault{kInternal} on malformed
+/// input (e.g. a unit that bypassed the type checker), mirroring the tree
+/// walker's runtime kInternal faults.
+[[nodiscard]] Module compile_unit(const Unit& unit);
+
+}  // namespace minic::bytecode

@@ -1,0 +1,55 @@
+// Bytecode virtual machine for MiniC. Drop-in replacement for the tree
+// walker (`minic::Interp`): identical RunOutcome for any typechecked unit —
+// same fault kind and message, return value, step count, coverage bitmap
+// and printk log. The differential suite (tests/test_bytecode_vm.cc)
+// enforces the equivalence over the corpus drivers, the Devil-generated
+// stubs and sampled mutants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minic/bytecode/bytecode.h"
+#include "minic/interp.h"
+
+namespace minic::bytecode {
+
+class Vm {
+ public:
+  /// `module` and `io` must outlive the Vm.
+  Vm(const Module& module, IoEnvironment& io, uint64_t step_budget = 2'000'000);
+
+  /// (Re)initialises globals, then calls `entry` (no arguments). Returns
+  /// the outcome; never throws.
+  [[nodiscard]] RunOutcome run(const std::string& entry);
+
+ private:
+  VmValue exec(const CompiledFunction& fn, bool counts_depth,
+               RunOutcome& out);
+  void push_frame(const CompiledFunction& fn, const VmValue* caller_regs,
+                  uint32_t argbase);
+  void pop_frame();
+
+  const Module& mod_;
+  IoEnvironment& io_;
+  uint64_t budget_;
+  uint64_t steps_left_ = 0;
+  int depth_ = 0;
+  /// The value committed by the most recent store opcode; kTakeStored
+  /// materialises it when an assignment is consumed as an expression.
+  int64_t stored_ = 0;
+  /// One flat register vector per activation; retired vectors are pooled so
+  /// a warm call allocates nothing (mirrors the walker's frame pool).
+  std::vector<std::vector<VmValue>> frames_;
+  std::vector<std::vector<VmValue>> frame_pool_;
+  struct Activation {
+    const CompiledFunction* fn;
+    size_t pc;
+    uint16_t dst;
+  };
+  std::vector<Activation> calls_;
+  std::vector<VmValue> globals_;
+};
+
+}  // namespace minic::bytecode

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "minic/bytecode/vm.h"
 #include "minic/lexer.h"
 #include "minic/parser.h"
 #include "minic/typecheck.h"
@@ -79,9 +80,38 @@ Program compile_with_prefix(const PreparedPrefix& prefix,
   return prog;
 }
 
+const char* exec_engine_name(ExecEngine e) {
+  switch (e) {
+    case ExecEngine::kBytecodeVm: return "bytecode-vm";
+    case ExecEngine::kTreeWalker: return "tree-walker";
+  }
+  return "?";
+}
+
+RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
+                    const std::string& entry, uint64_t step_budget,
+                    ExecEngine engine) {
+  if (engine == ExecEngine::kTreeWalker) {
+    Interp interp(unit, io, step_budget);
+    return interp.run(entry);
+  }
+  try {
+    bytecode::Module module = bytecode::compile_unit(unit);
+    bytecode::Vm vm(module, io, step_budget);
+    return vm.run(entry);
+  } catch (const Fault& f) {
+    // Lowering rejected the unit: the walker's equivalent is a runtime
+    // kInternal fault, and the campaign engine treats both as repo bugs.
+    RunOutcome out;
+    out.fault = f.kind;
+    out.fault_message = f.message;
+    return out;
+  }
+}
+
 RunOutcome compile_and_run(const std::string& name, const std::string& source,
                            const std::string& entry, IoEnvironment& io,
-                           uint64_t step_budget) {
+                           uint64_t step_budget, ExecEngine engine) {
   Program prog = compile(name, source);
   if (!prog.ok()) {
     RunOutcome out;
@@ -89,8 +119,7 @@ RunOutcome compile_and_run(const std::string& name, const std::string& source,
     out.fault_message = "compilation failed:\n" + prog.diags.render();
     return out;
   }
-  Interp interp(*prog.unit, io, step_budget);
-  return interp.run(entry);
+  return run_unit(*prog.unit, io, entry, step_budget, engine);
 }
 
 }  // namespace minic

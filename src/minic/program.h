@@ -26,12 +26,31 @@ struct Program {
 [[nodiscard]] Program compile(const std::string& name,
                               const std::string& source);
 
+/// Execution engine for a compiled unit. Both engines produce identical
+/// RunOutcomes (fault kind/message, return value, step count, coverage,
+/// log); the bytecode VM is the default because it is the faster one, the
+/// tree walker stays on as the differential oracle.
+enum class ExecEngine {
+  kBytecodeVm,
+  kTreeWalker,
+};
+
+[[nodiscard]] const char* exec_engine_name(ExecEngine e);
+
+/// Runs `entry` in a typechecked unit on the chosen engine. The bytecode
+/// path lowers the unit first; lowering problems surface as kInternal
+/// outcomes, exactly like the walker's runtime invariant faults.
+[[nodiscard]] RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
+                                  const std::string& entry,
+                                  uint64_t step_budget = 2'000'000,
+                                  ExecEngine engine = ExecEngine::kBytecodeVm);
+
 /// Compiles and runs `entry` against `io` in one call (tests, examples).
-[[nodiscard]] RunOutcome compile_and_run(const std::string& name,
-                                         const std::string& source,
-                                         const std::string& entry,
-                                         IoEnvironment& io,
-                                         uint64_t step_budget = 2'000'000);
+[[nodiscard]] RunOutcome compile_and_run(
+    const std::string& name, const std::string& source,
+    const std::string& entry, IoEnvironment& io,
+    uint64_t step_budget = 2'000'000,
+    ExecEngine engine = ExecEngine::kBytecodeVm);
 
 // ---------------------------------------------------------------------------
 // Token-level prefix cache.

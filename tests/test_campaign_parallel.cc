@@ -21,6 +21,7 @@ void expect_identical(const eval::DriverCampaignResult& a,
   EXPECT_EQ(a.total_sites, b.total_sites);
   EXPECT_EQ(a.total_mutants, b.total_mutants);
   EXPECT_EQ(a.sampled_mutants, b.sampled_mutants);
+  EXPECT_EQ(a.deduped_mutants, b.deduped_mutants);
   EXPECT_EQ(a.tally.mutants, b.tally.mutants);
   EXPECT_EQ(a.tally.sites, b.tally.sites);
   EXPECT_EQ(a.tally.total_mutants, b.tally.total_mutants);
@@ -30,6 +31,7 @@ void expect_identical(const eval::DriverCampaignResult& a,
     EXPECT_EQ(a.records[i].site, b.records[i].site) << i;
     EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << i;
     EXPECT_EQ(a.records[i].detail, b.records[i].detail) << i;
+    EXPECT_EQ(a.records[i].deduped, b.records[i].deduped) << i;
   }
 }
 
