@@ -223,6 +223,52 @@ void BM_CDevilMutantCyclePrepared(benchmark::State& state) {
 }
 BENCHMARK(BM_CDevilMutantCyclePrepared)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// E11 — Compiled-prefix pipeline. BM_TailLower isolates the per-mutant
+// front-end cost with the stage-1 cache (lex+parse+typecheck+lower of the
+// driver tail only, spliced onto the shared segment) — compare against
+// BM_MiniCCompileCDevilUnit, the whole-unit front end it replaces.
+// BM_PrefixCompileCached is the full cached mutant cycle, the counterpart
+// of BM_CDevilMutantCyclePrepared on the token-splice path.
+// ---------------------------------------------------------------------------
+
+void BM_TailLower(benchmark::State& state) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  auto prefix = minic::prepare_prefix("ide.dil", spec.stubs + "\n");
+  const std::string& driver = corpus::cdevil_ide_driver();
+  for (auto _ : state) {
+    auto spliced = minic::compile_tail(prefix, driver);
+    benchmark::DoNotOptimize(spliced.ok());
+  }
+}
+BENCHMARK(BM_TailLower);
+
+void BM_PrefixCompileCached(benchmark::State& state) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  const std::string& driver = corpus::cdevil_ide_driver();
+  auto prefix = minic::prepare_prefix("ide.dil", spec.stubs + "\n");
+  mutation::CScanOptions opt;
+  opt.classes = mutation::classes_for_cdevil_driver(spec.stubs, driver);
+  auto sites = mutation::scan_c_sites(driver, opt);
+  auto mutants = mutation::generate_c_mutants(sites, opt.classes);
+  size_t ix = 0;
+  for (auto _ : state) {
+    const auto& m = mutants[ix++ % mutants.size()];
+    std::string mutated = mutation::apply_mutant(driver, sites, m);
+    auto spliced = minic::compile_tail(prefix, mutated);
+    if (spliced.ok()) {
+      hw::IoBus bus;
+      bus.map(0x1f0, 8, std::make_shared<hw::IdeDisk>());
+      auto out = minic::run_module(*spliced.module, bus, "ide_boot",
+                                   3'000'000);
+      benchmark::DoNotOptimize(out.fault);
+    }
+  }
+}
+BENCHMARK(BM_PrefixCompileCached)->Unit(benchmark::kMillisecond);
+
 // The headline number: full campaign wall-clock at 1/2/4/8 worker threads.
 // Results are identical at every thread count (ctest asserts this); only
 // the wall-clock changes.

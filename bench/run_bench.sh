@@ -3,6 +3,11 @@
 # to the repo root, so the perf trajectory is tracked PR over PR.
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: ./build)
+#   BENCH_FILTER=<regex>  run only matching benchmarks while iterating,
+#                         e.g. BENCH_FILTER='BM_TailLower|BM_PrefixCompile'.
+#                         Filtered runs write to <build-dir>/BENCH_filtered.json
+#                         so they never clobber the canonical PR-over-PR
+#                         record at the repo root.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,7 +20,11 @@ if [[ ! -x "$build_dir/bench_campaign_throughput" ]]; then
 fi
 
 out="$repo_root/BENCH_campaign.json"
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  out="$build_dir/BENCH_filtered.json"
+fi
 "$build_dir/bench_campaign_throughput" \
   --benchmark_min_time=0.5 \
+  ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
   --benchmark_format=json > "$out"
 echo "wrote $out" >&2

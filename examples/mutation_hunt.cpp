@@ -67,8 +67,12 @@ std::string replace_once(std::string text, const std::string& from,
 }
 
 /// Runs the full C vs CDevil driver campaigns on `threads` workers and
-/// prints the paper's Tables 3/4 plus the headline comparison.
-int run_campaigns(unsigned threads) {
+/// prints the paper's Tables 3/4 plus the headline comparison. With
+/// `assert_counters` (the CI Release smoke) the exit code additionally
+/// verifies that the throughput machinery actually engaged: canonical
+/// dedup skipped at least one mutant and the compiled-prefix cache served
+/// every unique compile.
+int run_campaigns(unsigned threads, bool assert_counters) {
   std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
               "cores, %s engine)...\n\n",
               threads, minic::exec_engine_name(g_engine));
@@ -97,6 +101,36 @@ int run_campaigns(unsigned threads) {
   std::printf("%s\n", eval::render_driver_table("Table 4: CDevil driver",
                                                 d_res).c_str());
   std::printf("%s\n", eval::render_comparison(c_res, d_res).c_str());
+  std::printf("Engine counters: C dedup %zu/%zu, prefix-cache %zu; "
+              "CDevil dedup %zu/%zu, prefix-cache %zu\n",
+              c_res.deduped_mutants, c_res.sampled_mutants,
+              c_res.prefix_cache_hits, d_res.deduped_mutants,
+              d_res.sampled_mutants, d_res.prefix_cache_hits);
+  if (assert_counters) {
+    // The walker engine compiles whole units by design, so cache hits are
+    // only expected on the bytecode VM.
+    const bool expect_cache = g_engine == minic::ExecEngine::kBytecodeVm;
+    auto check = [expect_cache](const char* what,
+                                const eval::DriverCampaignResult& r) {
+      if (r.deduped_mutants == 0) {
+        std::fprintf(stderr, "FAIL: %s campaign deduped 0 mutants\n", what);
+        return false;
+      }
+      size_t unique = r.sampled_mutants - r.deduped_mutants;
+      if (expect_cache &&
+          (r.prefix_cache_hits == 0 || r.prefix_cache_hits > unique)) {
+        std::fprintf(stderr,
+                     "FAIL: %s campaign compiled %zu of %zu unique mutants "
+                     "through the prefix cache\n",
+                     what, r.prefix_cache_hits, unique);
+        return false;
+      }
+      return true;
+    };
+    bool ok = check("C", c_res) & check("CDevil", d_res);
+    std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+  }
   return 0;
 }
 
@@ -110,10 +144,17 @@ int main(int argc, char** argv) {
       g_engine = minic::ExecEngine::kTreeWalker;
     }
   }
+  bool assert_counters = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-counters") == 0) {
+      assert_counters = true;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       return run_campaigns(
-          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)),
+          assert_counters);
     }
   }
 

@@ -28,7 +28,13 @@ struct RegInfo {
   std::string mask;
 
   [[nodiscard]] char mask_bit(int i) const {
-    return mask[mask.size() - 1 - static_cast<size_t>(i)];
+    // A mutant can desynchronise mask length and register width — always a
+    // DVL114 error, but later per-bit checks still run; bits beyond the
+    // pattern read as irrelevant instead of out of bounds. Acceptance is
+    // unaffected: the length mismatch already failed the spec.
+    size_t ix = static_cast<size_t>(i);
+    if (ix >= mask.size()) return '.';
+    return mask[mask.size() - 1 - ix];
   }
 };
 

@@ -112,14 +112,23 @@ Outcome classify_clean(const PreparedCampaign& prep, const mutation::Site& site,
   return ran ? Outcome::kBoot : Outcome::kDeadCode;
 }
 
-/// The pure per-mutant kernel: splice, compile (reusing the prefix token
-/// stream), boot on the configured engine, classify. Touches nothing but
-/// its own locals and the read-only `prep` (plus the locked disk pool), so
-/// any number of these can run concurrently. When `snap` is non-null the
-/// site-independent boot residue is captured for duplicate classification.
+/// True when this campaign compiles mutants through the compiled-prefix
+/// cache (tail-only front end + segment splice) instead of whole units.
+bool uses_prefix_cache(const PreparedCampaign& prep) {
+  return prep.config->prefix_cache &&
+         prep.config->engine == minic::ExecEngine::kBytecodeVm &&
+         prep.prefix.compiled != nullptr;
+}
+
+/// The pure per-mutant kernel: splice, compile (tail-only against the
+/// cached compiled prefix on the VM engine, whole-unit token splice
+/// otherwise), boot, classify. Touches nothing but its own locals and the
+/// read-only `prep` (plus the locked disk pool), so any number of these can
+/// run concurrently. When `snap` is non-null the site-independent boot
+/// residue is captured for duplicate classification.
 MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
-                            BootSnapshot* snap,
-                            std::string pre_spliced = {}) {
+                            BootSnapshot* snap, std::string pre_spliced = {},
+                            uint8_t* cache_hit = nullptr) {
   const DriverCampaignConfig& config = *prep.config;
   const mutation::Mutant& m = prep.mutants[mutant_ix];
   const mutation::Site& site = prep.sites[m.site];
@@ -133,12 +142,29 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
   rec.mutant_index = mutant_ix;
   rec.site = m.site;
 
-  minic::Program prog = minic::compile_with_prefix(prep.prefix,
-                                                   mutated_driver);
-  if (!prog.ok()) {
+  const bool cached = uses_prefix_cache(prep);
+  minic::Program prog;
+  minic::SplicedProgram spliced;
+  std::map<std::string, std::set<uint32_t>>* macro_uses = nullptr;
+  if (cached) {
+    spliced = minic::compile_tail(prep.prefix, mutated_driver);
+    if (!spliced.internal_error.empty()) {
+      throw std::logic_error("interpreter bug on mutant: " +
+                             spliced.internal_error);
+    }
+    // A *measured* hit: only the tail-compile path counts, not the rare
+    // symbol-collision fallback to whole-unit compilation.
+    if (cache_hit && !spliced.whole_unit_fallback) *cache_hit = 1;
+    macro_uses = &spliced.macro_use_lines;
+  } else {
+    prog = minic::compile_with_prefix(prep.prefix, mutated_driver);
+    if (prog.ok()) macro_uses = &prog.unit->macro_use_lines;
+  }
+  const support::DiagnosticEngine& diags = cached ? spliced.diags : prog.diags;
+  if (cached ? !spliced.ok() : !prog.ok()) {
     rec.outcome = Outcome::kCompileTime;
-    if (!prog.diags.all().empty()) {
-      rec.detail = prog.diags.all().front().to_string();
+    if (!diags.all().empty()) {
+      rec.detail = diags.all().front().to_string();
     }
     if (snap) {
       snap->outcome = rec.outcome;
@@ -150,8 +176,11 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
   hw::IoBus bus;
   auto disk = prep.disk_pool.acquire();
   bus.map(0x1f0, 8, disk);
-  auto run = minic::run_unit(*prog.unit, bus, config.entry,
-                             config.step_budget, config.engine);
+  auto run = cached
+                 ? minic::run_module(*spliced.module, bus, config.entry,
+                                     config.step_budget)
+                 : minic::run_unit(*prog.unit, bus, config.entry,
+                                   config.step_budget, config.engine);
 
   if (run.fault == minic::FaultKind::kInternal) {
     throw std::logic_error("interpreter bug on mutant: " + run.fault_message);
@@ -169,8 +198,7 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
                                  : "wrong boot fingerprint";
   } else {
     clean = true;
-    rec.outcome = classify_clean(prep, site, run.executed,
-                                 prog.unit->macro_use_lines);
+    rec.outcome = classify_clean(prep, site, run.executed, *macro_uses);
   }
   if (snap) {
     snap->clean = clean;
@@ -178,7 +206,7 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
     snap->detail = rec.detail;
     if (clean) {
       snap->executed = std::move(run.executed);
-      snap->macro_use_lines = std::move(prog.unit->macro_use_lines);
+      snap->macro_use_lines = std::move(*macro_uses);
     }
   }
   // Drop the bus mapping before recycling the disk.
@@ -353,13 +381,15 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
   for (size_t i = 0; i < selected.size(); ++i) {
     if (dup_of[i] == static_cast<size_t>(-1)) unique_ix.push_back(i);
   }
+  std::vector<uint8_t> cache_hits(selected.size(), 0);
   support::parallel_for(unique_ix.size(), config.threads, [&](size_t u) {
     size_t i = unique_ix[u];
     BootSnapshot* snap = wants_snapshot[i] ? &snapshots[i] : nullptr;
     result.records[i] = run_one_mutant(
         prep, selected[i], snap,
-        config.dedup ? std::move(spliced[i]) : std::string());
+        config.dedup ? std::move(spliced[i]) : std::string(), &cache_hits[i]);
   });
+  for (uint8_t hit : cache_hits) result.prefix_cache_hits += hit;
 
   // --- duplicate classification (phase 4, sequential) -----------------------------
   for (size_t i = 0; i < selected.size(); ++i) {

@@ -42,6 +42,13 @@ struct DriverCampaignConfig {
   /// visible in the records — classified against their own site from the
   /// representative's boot — and tallies are unchanged.
   bool dedup = true;
+  /// Compile mutants through the compiled-prefix cache: the invariant stub
+  /// prefix is parsed, typechecked and lowered once per campaign
+  /// (`minic::prepare_prefix` stage 1) and every mutant compiles only the
+  /// driver tail, splicing the cached bytecode segment. Byte-identical
+  /// records either way (ctest-enforced). Only effective on the bytecode
+  /// engine; the tree walker always compiles whole units.
+  bool prefix_cache = true;
 };
 
 struct MutantRecord {
@@ -59,6 +66,9 @@ struct DriverCampaignResult {
   size_t total_mutants = 0;    // before sampling
   size_t sampled_mutants = 0;
   size_t deduped_mutants = 0;  // sampled mutants that skipped compile+boot
+  /// Mutants compiled through the per-campaign compiled-prefix cache
+  /// (tail-only parse/typecheck/lower spliced onto the shared segment).
+  size_t prefix_cache_hits = 0;
   Tally tally;
   int64_t clean_fingerprint = 0;
   std::vector<MutantRecord> records;  // one per sampled mutant

@@ -1,8 +1,10 @@
 #include "eval/spec_campaign.h"
 
 #include <stdexcept>
+#include <unordered_map>
 
 #include "devil/compiler.h"
+#include "devil/lexer.h"
 #include "mutation/devil_mutator.h"
 #include "support/parallel.h"
 #include "support/strings.h"
@@ -17,6 +19,35 @@ mutation::DevilNames names_from(const devil::DeviceInfo& info) {
   for (const auto& r : info.decl->registers) names.registers.push_back(r.name);
   for (const auto& v : info.decl->variables) names.variables.push_back(v.name);
   return names;
+}
+
+/// Canonical token-class key of a mutated specification: the lexed token
+/// stream (kind, line, spelling / integer value). Two mutants with equal
+/// keys are char-class-identical to the Devil front end, so `check_spec`
+/// accepts or rejects them identically. Unlexable mutants fall back to a
+/// raw-text key: only byte-identical splices dedup.
+std::string canonical_spec_key(const std::string& file,
+                               const std::string& text) {
+  support::DiagnosticEngine diags;
+  support::SourceBuffer buf(file, text);
+  devil::Lexer lexer(buf, diags);
+  std::vector<devil::Token> tokens = lexer.lex_all();
+  if (diags.has_errors()) return "!" + text;
+  std::string key;
+  key.reserve(tokens.size() * 8);
+  for (const devil::Token& t : tokens) {
+    key.push_back(static_cast<char>(t.kind));
+    uint32_t line = t.range.begin.line;
+    key.append(reinterpret_cast<const char*>(&line), sizeof(line));
+    if (t.kind == devil::TokKind::kInt) {
+      uint64_t v = t.int_value;
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    } else if (!t.text.empty()) {
+      key.append(t.text);
+      key.push_back('\0');
+    }
+  }
+  return key;
 }
 
 }  // namespace
@@ -40,15 +71,49 @@ SpecCampaignRow run_spec_campaign(const corpus::SpecEntry& spec,
   row.sites = sites.size();
   row.mutants = mutants.size();
 
-  // Parallel map: one flag per mutant, written only by its own worker.
-  // The order-sensitive reduction (detected count, first-N survivors) runs
-  // after the join, so any thread count yields the identical row.
-  std::vector<uint8_t> detected(mutants.size(), 0);
+  // Canonical dedup, mirroring the driver campaign's: keys are computed in
+  // parallel (per-index writes only); the first-seen mapping is built
+  // sequentially afterwards, so it is deterministic at any thread count.
+  std::vector<std::string> mutated(mutants.size());
+  std::vector<size_t> dup_of(mutants.size(), static_cast<size_t>(-1));
   support::parallel_for(mutants.size(), config.threads, [&](size_t i) {
-    std::string mutated = mutation::apply_mutant(spec.text, sites, mutants[i]);
-    auto result = devil::check_spec(spec.file, mutated);
+    mutated[i] = mutation::apply_mutant(spec.text, sites, mutants[i]);
+  });
+  if (config.dedup && !mutants.empty()) {
+    std::vector<std::string> keys(mutants.size());
+    support::parallel_for(mutants.size(), config.threads, [&](size_t i) {
+      keys[i] = canonical_spec_key(spec.file, mutated[i]);
+    });
+    std::unordered_map<std::string, size_t> first_seen;
+    first_seen.reserve(mutants.size());
+    for (size_t i = 0; i < mutants.size(); ++i) {
+      auto [it, inserted] = first_seen.emplace(std::move(keys[i]), i);
+      if (!inserted) {
+        dup_of[i] = it->second;
+        ++row.deduped;
+      }
+    }
+  }
+
+  // Parallel map over the unique mutants: one flag per mutant, written only
+  // by its own worker. The order-sensitive reduction (detected count,
+  // first-N survivors) runs after the join, so any thread count yields the
+  // identical row. Duplicates take the representative's flag — detection is
+  // site-independent, unlike the driver campaign's dead-code split.
+  std::vector<size_t> unique_ix;
+  unique_ix.reserve(mutants.size());
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    if (dup_of[i] == static_cast<size_t>(-1)) unique_ix.push_back(i);
+  }
+  std::vector<uint8_t> detected(mutants.size(), 0);
+  support::parallel_for(unique_ix.size(), config.threads, [&](size_t u) {
+    size_t i = unique_ix[u];
+    auto result = devil::check_spec(spec.file, mutated[i]);
     detected[i] = result.ok() ? 0 : 1;
   });
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    if (dup_of[i] != static_cast<size_t>(-1)) detected[i] = detected[dup_of[i]];
+  }
   for (size_t i = 0; i < mutants.size(); ++i) {
     if (detected[i]) {
       ++row.detected;

@@ -15,6 +15,10 @@ struct SpecCampaignRow {
   size_t sites = 0;          // mutation sites (col 2)
   size_t mutants = 0;        // injected mutants (col 3)
   size_t detected = 0;       // rejected by the Devil compiler
+  /// Mutants that skipped their own `check_spec` run because their mutated
+  /// spec lexes to an already-seen canonical token stream; their detection
+  /// flag comes from the representative. Tallies are unchanged (ctest).
+  size_t deduped = 0;
   std::vector<std::string> undetected_samples;  // a few survivors, for study
 };
 
@@ -24,6 +28,9 @@ struct SpecCampaignConfig {
   /// identical at any thread count (detection flags are written per-index
   /// and reduced in mutant order after the join).
   unsigned threads = 1;
+  /// Canonical token-class dedup, as in `DriverCampaignConfig::dedup`:
+  /// stream-identical mutants run the Devil compiler once.
+  bool dedup = true;
 };
 
 /// Runs the full (unsampled) mutation campaign over one specification.

@@ -71,6 +71,12 @@ enum class ExprKind {
 };
 
 struct Expr {
+  /// AST nodes dominate the per-mutant parse's allocation churn, so they
+  /// come from a thread-cached slab pool (ast_pool.cc) instead of the
+  /// global heap. Passthrough under sanitizer builds.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p, std::size_t size) noexcept;
+
   ExprKind kind;
   support::SourceLoc loc;
   Tok op = Tok::kEof;          // kUnary / kBinary / kAssign operator
@@ -125,6 +131,9 @@ struct SwitchCase {
 };
 
 struct Stmt {
+  static void* operator new(std::size_t size);   // pooled, see Expr
+  static void operator delete(void* p, std::size_t size) noexcept;
+
   StmtKind kind;
   support::SourceLoc loc;
   std::vector<ExprPtr> expr;

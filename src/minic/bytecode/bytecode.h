@@ -25,6 +25,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +80,15 @@ enum class Op : uint8_t {
   kCmpEq, kCmpNe, kCmpLt, kCmpGt, kCmpLe, kCmpGe,
   kBinImm,          // CC : R[a].i = R[b].i <w-op> imm (fused const operand)
   kCoerce,          // C  : R[a].i = coerce(R[b].i, w)  (integer cast)
+  // Compare+branch superinstructions: a condition's top binary node fused
+  // with the statement's jump-if-zero. The node's charge (and its free
+  // flag) is preserved; the result register is dead — the branch was its
+  // only consumer — so it is not written.
+  kBinJump,         // C  : if (R[b].i <w-op> R[c].i == 0) pc = imm
+  kBinImmJump,      // CC : if (R[b].i <w-op> c == 0) pc = imm (c: u16 lit)
+  kDilEqIntJump,    // C  : if (R[b].i != R[c].i) pc = imm
+  kDilEqStructJump, // C  : struct dil_eq (type-tag assertion applies);
+                    //      if values differ pc = imm
   // Poll-loop superinstructions (all operand nodes on one line):
   kInConstAnd,      // CCCC : R[a].i = io_in(port, w) & mask; imm packs
                     //        port | mask<<32; the I/O happens after the
@@ -126,6 +137,14 @@ enum class Op : uint8_t {
   kCall,            // C : R[a] = fns[b](R[c..c+imm-1])
   kRet,             // F : return R[a] to the caller's dst register
   kRetZero,         // F : return integer 0 (fall-off-the-end / `return;`)
+  // Call+ret superinstructions: a kCall whose callee's whole body matches a
+  // one-line leaf template executes without pushing a frame. Field layout is
+  // identical to kCall (b = callee index); the dispatch replays the callee's
+  // charges/marks from its code, so exhaustion lines and step totals cannot
+  // differ from a real call. See `classify_leaf` in compiler.cc.
+  kCallRetParam,    // call to `{ return p; }`  : CCC M, result = coerce(arg)
+  kCallRetConst,    // call to `{ return K; }`  : CCC M, result = K
+  kCallOutConst,    // call to `{ out*(K1,K2); }`: CCCCC M, one io_out
   // --- builtins (each C = the call node's charge) --------------------------
   kIn,              // C  : R[a].i = io_in(R[b].i, w)
   kInConst,         // CC : R[a].i = io_in(imm, w) (fused constant port)
@@ -211,20 +230,84 @@ struct CompiledFunction {
   std::vector<Insn> code;
 };
 
-/// A compiled unit. Function order matches `Unit::functions`, so the type
-/// checker's `callee_index` annotations double as bytecode function ids.
-struct Module {
+/// The lowered invariant front of a unit: functions, string pool, struct
+/// defaults and the prefix globals' initialiser, compiled once per campaign
+/// and shared read-only (it is immutable after `compile_prefix`) by every
+/// per-mutant spliced module. The intern maps let tail lowering reuse
+/// segment pool entries instead of duplicating them.
+struct ModuleSegment {
   std::vector<CompiledFunction> fns;
-  CompiledFunction globals_init;  // runs before the entry call
+  CompiledFunction globals_init;  // inits globals [0, global_count)
   size_t global_count = 0;
   std::unordered_map<std::string, uint32_t> fn_index;
-  std::vector<std::string> strings;  // literals, fault-site names, messages
+  std::vector<std::string> strings;
   std::vector<std::vector<VmValue>> struct_defaults;
+  std::map<std::string, uint32_t> string_ix;  // string -> segment pool index
+  std::map<std::string, uint32_t> struct_ix;  // struct name -> defaults index
+  /// Compiler-internal LeafShape per `fns` entry, classified once here so
+  /// per-mutant splices skip re-classifying the invariant functions.
+  std::vector<uint8_t> leaf_shapes;
+};
+
+/// A runnable module. Function order matches the (spliced) unit's function
+/// order, so the type checker's `callee_index` annotations double as
+/// bytecode function ids. A spliced module *aliases* its prefix segment's
+/// code, constants and struct defaults through the flat dispatch tables —
+/// `fns`/`strings`/`struct_defaults` hold only the tail's additions, and
+/// `fn_table[i]` spans prefix then tail. Move-only: the dispatch tables
+/// point into the owned vectors' heap buffers (stable under move).
+struct Module {
+  Module() = default;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  std::shared_ptr<const ModuleSegment> prefix;  // null for whole-unit builds
+  std::vector<CompiledFunction> fns;            // tail functions
+  CompiledFunction globals_init;                // inits the *tail* globals
+  size_t global_count = 0;                      // prefix + tail
+  std::unordered_map<std::string, uint32_t> fn_index;  // tail names only
+  std::vector<std::string> strings;
+  std::vector<std::vector<VmValue>> struct_defaults;
+
+  // Flat views spanning prefix + tail, built by `finalize_tables`.
+  std::vector<const CompiledFunction*> fn_table;
+  std::vector<const std::string*> string_table;
+  std::vector<const std::vector<VmValue>*> struct_default_table;
+
+  [[nodiscard]] const std::string& str(size_t ix) const {
+    return *string_table[ix];
+  }
+  /// Entry-point lookup across both halves (first definition wins, and the
+  /// prefix's functions come first).
+  [[nodiscard]] const uint32_t* find_fn(const std::string& name) const {
+    if (prefix) {
+      auto it = prefix->fn_index.find(name);
+      if (it != prefix->fn_index.end()) return &it->second;
+    }
+    auto it = fn_index.find(name);
+    return it == fn_index.end() ? nullptr : &it->second;
+  }
 };
 
 /// Lowers a typechecked unit. Throws minic::Fault{kInternal} on malformed
 /// input (e.g. a unit that bypassed the type checker), mirroring the tree
 /// walker's runtime kInternal faults.
 [[nodiscard]] Module compile_unit(const Unit& unit);
+
+/// Lowers the invariant prefix half of a campaign unit once. The returned
+/// segment is immutable and safe to share across threads.
+[[nodiscard]] std::shared_ptr<const ModuleSegment> compile_prefix(
+    const Unit& prefix_unit);
+
+/// Lowers only `tail_unit` (typechecked with `typecheck_tail`, so its
+/// callee/global indices continue the prefix's numbering) and splices it
+/// after `segment`. `prefix_unit` must be the unit `segment` was compiled
+/// from. The result aliases the segment's code — nothing is recompiled or
+/// copied but the tail.
+[[nodiscard]] Module compile_tail_unit(
+    std::shared_ptr<const ModuleSegment> segment, const Unit& prefix_unit,
+    const Unit& tail_unit);
 
 }  // namespace minic::bytecode

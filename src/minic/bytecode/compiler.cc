@@ -27,35 +27,73 @@ VK vk_of(const Type& t) {
 }
 
 /// Shared per-module state: string pool, struct default templates, global
-/// storage classification.
+/// storage classification. In tail mode (`seg` non-null) the builder lowers
+/// only the tail unit: intern lookups fall through to the segment's pools
+/// and fresh entries get indices rebased past them, so emitted code indexes
+/// directly into the spliced prefix+tail tables.
 struct ModuleBuilder {
-  const Unit& unit;
+  const Unit& unit;               // the unit being lowered (tail or whole)
+  const Unit* prefix_unit = nullptr;  // prefix decls when lowering a tail
+  const ModuleSegment* seg = nullptr;
   Module mod;
-  std::map<std::string, uint32_t> string_ix;
-  std::map<std::string, uint32_t> struct_ix;
+  std::map<std::string, uint32_t> string_ix;  // local additions, absolute ix
+  std::map<std::string, uint32_t> struct_ix;  // local additions, absolute ix
+  size_t global_base = 0;
+  size_t string_base = 0;
+  size_t struct_base = 0;
 
   explicit ModuleBuilder(const Unit& u) : unit(u) {
     mod.global_count = u.globals.size();
     build_struct_defaults();
   }
 
+  ModuleBuilder(const Unit& tail, const Unit& prefix, const ModuleSegment& s)
+      : unit(tail),
+        prefix_unit(&prefix),
+        seg(&s),
+        global_base(s.global_count),
+        string_base(s.strings.size()),
+        struct_base(s.struct_defaults.size()) {
+    mod.global_count = global_base + tail.globals.size();
+    build_struct_defaults();
+  }
+
   uint32_t intern(const std::string& s) {
-    auto [it, inserted] =
-        string_ix.emplace(s, static_cast<uint32_t>(mod.strings.size()));
+    if (seg) {
+      auto hit = seg->string_ix.find(s);
+      if (hit != seg->string_ix.end()) return hit->second;
+    }
+    auto [it, inserted] = string_ix.emplace(
+        s, static_cast<uint32_t>(string_base + mod.strings.size()));
     if (inserted) mod.strings.push_back(s);
     return it->second;
   }
 
+  /// Absolute struct-defaults index for `name`, or null when unknown.
+  const uint32_t* struct_index(const std::string& name) const {
+    if (seg) {
+      auto hit = seg->struct_ix.find(name);
+      if (hit != seg->struct_ix.end()) return &hit->second;
+    }
+    auto it = struct_ix.find(name);
+    return it == struct_ix.end() ? nullptr : &it->second;
+  }
+
   void build_struct_defaults() {
     for (const auto& sd : unit.structs) {
-      // First definition wins, as in the walker's structs_ map.
-      struct_ix.emplace(sd.name, static_cast<uint32_t>(struct_ix.size()));
+      // First definition wins, as in the walker's structs_ map — and the
+      // prefix's definitions precede the tail's.
+      if (seg && seg->struct_ix.count(sd.name)) continue;
+      struct_ix.emplace(
+          sd.name, static_cast<uint32_t>(struct_base + struct_ix.size()));
     }
     mod.struct_defaults.resize(struct_ix.size());
     for (const auto& sd : unit.structs) {
-      uint32_t ix = struct_ix.at(sd.name);
-      if (!mod.struct_defaults[ix].empty()) continue;
-      mod.struct_defaults[ix] = default_fields(sd, 0);
+      auto it = struct_ix.find(sd.name);
+      if (it == struct_ix.end()) continue;  // defined by the prefix
+      auto& slot = mod.struct_defaults[it->second - struct_base];
+      if (!slot.empty()) continue;
+      slot = default_fields(sd, 0);
     }
   }
 
@@ -75,14 +113,22 @@ struct ModuleBuilder {
   }
 
   const StructDecl* find_struct(const std::string& name) const {
+    if (prefix_unit) {
+      for (const auto& sd : prefix_unit->structs) {
+        if (sd.name == name) return &sd;
+      }
+    }
     for (const auto& sd : unit.structs) {
       if (sd.name == name) return &sd;
     }
     return nullptr;
   }
 
+  /// Global declaration behind an absolute (prefix-continuing) slot.
   const GlobalDecl& global(int32_t slot) const {
-    return unit.globals[static_cast<size_t>(slot)];
+    size_t ix = static_cast<size_t>(slot);
+    if (ix < global_base) return prefix_unit->globals[ix];
+    return unit.globals[ix - global_base];
   }
 };
 
@@ -124,7 +170,7 @@ class FunctionCompiler {
   CompiledFunction compile_globals_init() {
     for (size_t g = 0; g < mb_.unit.globals.size(); ++g) {
       const GlobalDecl& gd = mb_.unit.globals[g];
-      uint16_t greg = static_cast<uint16_t>(g);
+      uint16_t greg = static_cast<uint16_t>(mb_.global_base + g);
       uint16_t save = temp_cur_;
       if (gd.array_size) {
         // Walker: slot.arr.assign(size, 0) — no step, no mark.
@@ -359,6 +405,66 @@ class FunctionCompiler {
     return push(in);
   }
 
+  /// Maps a 3-register binop opcode back to its operator token (compare+
+  /// branch fusion); kEof when the opcode is not a plain binop.
+  static Tok binop_tok(Op op) {
+    switch (op) {
+      case Op::kAdd: return Tok::kPlus;
+      case Op::kSub: return Tok::kMinus;
+      case Op::kMul: return Tok::kStar;
+      case Op::kDiv: return Tok::kSlash;
+      case Op::kMod: return Tok::kPercent;
+      case Op::kBitAnd: return Tok::kAmp;
+      case Op::kBitOr: return Tok::kPipe;
+      case Op::kBitXor: return Tok::kCaret;
+      case Op::kShl: return Tok::kShl;
+      case Op::kShr: return Tok::kShr;
+      case Op::kCmpEq: return Tok::kEq;
+      case Op::kCmpNe: return Tok::kNe;
+      case Op::kCmpLt: return Tok::kLt;
+      case Op::kCmpGt: return Tok::kGt;
+      case Op::kCmpLe: return Tok::kLe;
+      case Op::kCmpGe: return Tok::kGe;
+      default: return Tok::kEof;
+    }
+  }
+
+  /// Emits the jump-if-zero consuming condition register `c`. When the
+  /// preceding instruction produced `c` into a dead temporary (the branch
+  /// is its only consumer: the condition was compiled immediately before,
+  /// into a register at or above the frame slots) and is a fusable
+  /// compare/binop/dil_eq, the branch fuses into it — one dispatch per
+  /// `if (x == y)` / `while (stat & MASK)` header, with the producer's
+  /// charge count, line and free flag preserved and the dead result write
+  /// dropped. Returns the instruction whose `imm` takes the jump target.
+  size_t emit_jump_if_zero(uint16_t c) {
+    if (!out_.code.empty() && out_.code.size() > barrier_) {
+      Insn& prev = out_.code.back();
+      if (prev.a == c && c >= temp_base_) {
+        if (Tok t = binop_tok(prev.op); t != Tok::kEof) {
+          prev.op = Op::kBinJump;
+          prev.w = static_cast<uint8_t>(t);
+          prev.a = 0;
+          return out_.code.size() - 1;
+        }
+        if (prev.op == Op::kBinImm && prev.imm >= 0 && prev.imm <= 0xffff) {
+          prev.op = Op::kBinImmJump;
+          prev.c = static_cast<uint16_t>(prev.imm);
+          prev.a = 0;
+          prev.imm = 0;
+          return out_.code.size() - 1;
+        }
+        if (prev.op == Op::kDilEqInt || prev.op == Op::kDilEqStruct) {
+          prev.op = prev.op == Op::kDilEqInt ? Op::kDilEqIntJump
+                                             : Op::kDilEqStructJump;
+          prev.a = 0;
+          return out_.code.size() - 1;
+        }
+      }
+    }
+    return emit_branch(Op::kJumpIfZero, c);
+  }
+
   // ---- statements ----------------------------------------------------------
   struct LoopCtx {
     std::vector<size_t> breaks;
@@ -390,7 +496,7 @@ class FunctionCompiler {
       case StmtKind::kIf: {
         emit_step_mark(s.loc.line);
         uint16_t c = compile_expr(*s.expr[0]);
-        size_t jfalse = emit_branch(Op::kJumpIfZero, c);
+        size_t jfalse = emit_jump_if_zero(c);
         compile_stmt(*s.body[0]);
         if (s.body.size() > 1) {
           size_t jend = emit_jump();
@@ -411,7 +517,7 @@ class FunctionCompiler {
         size_t loop = here();
         emit_step_mark(s.loc.line);  // per-iteration charge + mark
         uint16_t c = compile_expr(*s.expr[0]);
-        size_t jend = emit_branch(Op::kJumpIfZero, c);
+        size_t jend = emit_jump_if_zero(c);
         loops_.emplace_back();
         compile_stmt(*s.body[0]);
         patch(emit_jump(), loop);
@@ -453,7 +559,7 @@ class FunctionCompiler {
         size_t jend = static_cast<size_t>(-1);
         if (!s.expr.empty()) {
           uint16_t c = compile_expr(*s.expr[0]);
-          jend = emit_branch(Op::kJumpIfZero, c);
+          jend = emit_jump_if_zero(c);
         }
         loops_.emplace_back();
         compile_stmt(*s.body[0]);
@@ -544,11 +650,9 @@ class FunctionCompiler {
       case VK::kStruct: {
         Insn in = base(Op::kDeclStructZ, s.loc.line);
         in.a = slot;
-        auto it = mb_.struct_ix.find(s.decl_type.struct_name);
-        if (it == mb_.struct_ix.end()) {
-          internal("unknown struct " + s.decl_type.struct_name);
-        }
-        in.imm = static_cast<int64_t>(it->second);
+        const uint32_t* ix = mb_.struct_index(s.decl_type.struct_name);
+        if (!ix) internal("unknown struct " + s.decl_type.struct_name);
+        in.imm = static_cast<int64_t>(*ix);
         push(in);
         return;
       }
@@ -1289,20 +1393,154 @@ class FunctionCompiler {
   std::vector<LoopCtx> loops_;
 };
 
-}  // namespace
+/// One-line leaf shapes a kCall can fuse into (see bytecode.h). The whole
+/// callee body must match the template *exactly*, charges included, so the
+/// fused dispatch can replay its charges/marks from the callee's code.
+enum class LeafShape : uint8_t { kNone, kRetParam, kRetConst, kOutConst };
 
-Module compile_unit(const Unit& unit) {
-  ModuleBuilder mb(unit);
+LeafShape classify_leaf(const CompiledFunction& fn) {
+  const auto& c = fn.code;
+  // `{ return p; }` / `{ return K; }` — block+statement charge, one loading
+  // instruction, the return. The production-mode Devil value constructors
+  // (`mk_X`) and constant getters have exactly this shape.
+  if (c.size() == 4 && c[0].op == Op::kStepStepMark && c[0].flags == 0 &&
+      c[1].flags == 0 && c[2].op == Op::kRet && c[2].a == c[1].a &&
+      c[3].op == Op::kRetZero) {
+    if (c[1].op == Op::kLoadConst) return LeafShape::kRetConst;
+    if (c[1].op == Op::kMoveInt && c[1].b < fn.params.size()) {
+      for (const auto& p : fn.params) {
+        if (p.kind != ParamSpec::Kind::kInt) return LeafShape::kNone;
+      }
+      return LeafShape::kRetParam;
+    }
+    return LeafShape::kNone;
+  }
+  // `{ out*(K_value, K_port); }` — the constant register pokes of
+  // hand-written C drivers (e.g. drive-select helpers).
+  if (c.size() == 5 && c[0].op == Op::kStepStepMark && c[0].flags == 0 &&
+      c[1].op == Op::kLoadConst && c[2].op == Op::kLoadConst &&
+      c[3].op == Op::kOut && c[3].flags == 0 && c[3].a == c[1].a &&
+      c[3].b == c[2].a && c[4].op == Op::kRetZero && fn.params.empty()) {
+    return LeafShape::kOutConst;
+  }
+  return LeafShape::kNone;
+}
+
+/// Builds the flat prefix+tail dispatch views. Must run after the owned
+/// vectors reach their final sizes (pointers go into their heap buffers).
+void finalize_tables(Module& mod) {
+  const ModuleSegment* seg = mod.prefix.get();
+  mod.fn_table.clear();
+  mod.string_table.clear();
+  mod.struct_default_table.clear();
+  mod.fn_table.reserve((seg ? seg->fns.size() : 0) + mod.fns.size());
+  mod.string_table.reserve((seg ? seg->strings.size() : 0) +
+                           mod.strings.size());
+  mod.struct_default_table.reserve(
+      (seg ? seg->struct_defaults.size() : 0) + mod.struct_defaults.size());
+  if (seg) {
+    for (const auto& f : seg->fns) mod.fn_table.push_back(&f);
+    for (const auto& s : seg->strings) mod.string_table.push_back(&s);
+    for (const auto& d : seg->struct_defaults) {
+      mod.struct_default_table.push_back(&d);
+    }
+  }
+  for (const auto& f : mod.fns) mod.fn_table.push_back(&f);
+  for (const auto& s : mod.strings) mod.string_table.push_back(&s);
+  for (const auto& d : mod.struct_defaults) {
+    mod.struct_default_table.push_back(&d);
+  }
+}
+
+/// Rewrites kCall sites whose callee matches a leaf template into the fused
+/// call opcodes. Only the module's own code is rewritten — a shared prefix
+/// segment was fused once when it was compiled (and is immutable here); its
+/// callees all live inside the segment, so its rewrites stay valid in every
+/// splice.
+void apply_call_fusion(Module& mod) {
+  std::vector<LeafShape> shapes(mod.fn_table.size());
+  size_t first = 0;
+  if (mod.prefix) {
+    // The segment's shapes were classified once at compile_prefix time.
+    first = mod.prefix->leaf_shapes.size();
+    for (size_t i = 0; i < first; ++i) {
+      shapes[i] = static_cast<LeafShape>(mod.prefix->leaf_shapes[i]);
+    }
+  }
+  for (size_t i = first; i < shapes.size(); ++i) {
+    shapes[i] = classify_leaf(*mod.fn_table[i]);
+  }
+  auto rewrite = [&shapes](std::vector<Insn>& code) {
+    for (Insn& in : code) {
+      if (in.op != Op::kCall) continue;
+      switch (shapes[in.b]) {
+        case LeafShape::kNone: break;
+        case LeafShape::kRetParam: in.op = Op::kCallRetParam; break;
+        case LeafShape::kRetConst: in.op = Op::kCallRetConst; break;
+        case LeafShape::kOutConst: in.op = Op::kCallOutConst; break;
+      }
+    }
+  };
+  for (auto& fn : mod.fns) rewrite(fn.code);
+  rewrite(mod.globals_init.code);
+}
+
+/// Lowers `mb.unit`'s functions and globals initialiser into `mb.mod`,
+/// assigning function ids that continue the prefix's (fn_base).
+void lower_into(ModuleBuilder& mb, uint32_t fn_base) {
+  const Unit& unit = mb.unit;
   mb.mod.fns.reserve(unit.functions.size());
   for (size_t i = 0; i < unit.functions.size(); ++i) {
     FunctionCompiler fc(mb, &unit.functions[i]);
     mb.mod.fns.push_back(fc.compile_body());
     // First definition wins for name lookup, matching the walker's linear
     // call_function scan (duplicates are checker errors anyway).
-    mb.mod.fn_index.emplace(unit.functions[i].name, static_cast<uint32_t>(i));
+    mb.mod.fn_index.emplace(unit.functions[i].name,
+                            fn_base + static_cast<uint32_t>(i));
   }
   FunctionCompiler gc(mb, nullptr);
   mb.mod.globals_init = gc.compile_globals_init();
+}
+
+}  // namespace
+
+Module compile_unit(const Unit& unit) {
+  ModuleBuilder mb(unit);
+  lower_into(mb, 0);
+  finalize_tables(mb.mod);
+  apply_call_fusion(mb.mod);
+  return std::move(mb.mod);
+}
+
+std::shared_ptr<const ModuleSegment> compile_prefix(const Unit& prefix_unit) {
+  ModuleBuilder mb(prefix_unit);
+  lower_into(mb, 0);
+  finalize_tables(mb.mod);
+  apply_call_fusion(mb.mod);
+  auto seg = std::make_shared<ModuleSegment>();
+  seg->fns = std::move(mb.mod.fns);
+  seg->globals_init = std::move(mb.mod.globals_init);
+  seg->global_count = mb.mod.global_count;
+  seg->fn_index = std::move(mb.mod.fn_index);
+  seg->strings = std::move(mb.mod.strings);
+  seg->struct_defaults = std::move(mb.mod.struct_defaults);
+  seg->string_ix = std::move(mb.string_ix);
+  seg->struct_ix = std::move(mb.struct_ix);
+  seg->leaf_shapes.reserve(seg->fns.size());
+  for (const auto& fn : seg->fns) {
+    seg->leaf_shapes.push_back(static_cast<uint8_t>(classify_leaf(fn)));
+  }
+  return seg;
+}
+
+Module compile_tail_unit(std::shared_ptr<const ModuleSegment> segment,
+                         const Unit& prefix_unit, const Unit& tail_unit) {
+  ModuleBuilder mb(tail_unit, prefix_unit, *segment);
+  uint32_t fn_base = static_cast<uint32_t>(segment->fns.size());
+  mb.mod.prefix = std::move(segment);
+  lower_into(mb, fn_base);
+  finalize_tables(mb.mod);
+  apply_call_fusion(mb.mod);
   return std::move(mb.mod);
 }
 

@@ -211,7 +211,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
       case Op::kLoadStr:
         CHG(in);
         R[in.a].i = 0;
-        R[in.a].s = mod_.strings[static_cast<size_t>(in.imm)];
+        R[in.a].s = mod_.str(static_cast<size_t>(in.imm));
         break;
       case Op::kMoveInt:
         CHG(in);
@@ -258,7 +258,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         if (ix < 0 || static_cast<size_t>(ix) >= slot.arr.size()) {
           throw Fault{FaultKind::kBadIndex,
                       "out-of-bounds access to " +
-                          mod_.strings[static_cast<size_t>(in.imm)]};
+                          mod_.str(static_cast<size_t>(in.imm))};
         }
         R[in.a].i = slot.arr[static_cast<size_t>(ix)];
         break;
@@ -383,6 +383,26 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         CHG(in);
         R[in.a].i = apply_binop(static_cast<Tok>(in.w), R[in.b].i, in.imm);
         break;
+      // Compare+branch superinstructions: the producer's charges, then the
+      // jump-if-zero, with the dead result register never written.
+      case Op::kBinJump:
+        CHG(in);
+        if (apply_binop(static_cast<Tok>(in.w), R[in.b].i, R[in.c].i) == 0) {
+          pc = static_cast<size_t>(in.imm);
+        }
+        break;
+      case Op::kBinImmJump:
+        CHG(in);
+        CHG(in);
+        if (apply_binop(static_cast<Tok>(in.w), R[in.b].i,
+                        static_cast<int64_t>(in.c)) == 0) {
+          pc = static_cast<size_t>(in.imm);
+        }
+        break;
+      case Op::kDilEqIntJump:
+        CHG(in);
+        if (R[in.b].i != R[in.c].i) pc = static_cast<size_t>(in.imm);
+        break;
       case Op::kInConstAnd:
       case Op::kPollInAnd: {
         // Fused `inb(PORT) & MASK` (optionally with the statement's
@@ -474,7 +494,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         if (ix < 0 || static_cast<size_t>(ix) >= slot.arr.size()) {
           throw Fault{FaultKind::kBadIndex,
                       "out-of-bounds store to " +
-                          mod_.strings[static_cast<size_t>(in.imm)]};
+                          mod_.str(static_cast<size_t>(in.imm))};
         }
         stored_ = slot.arr[static_cast<size_t>(ix)] =
             coerce(R[in.c].i, in.w);
@@ -489,7 +509,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
           throw Fault{
               FaultKind::kBadIndex,
               "out-of-bounds store to " +
-                  mod_.strings[PackedElemOp::name_ix(in.imm)]};
+                  mod_.str(PackedElemOp::name_ix(in.imm))};
         }
         int64_t& elem = slot.arr[static_cast<size_t>(ix)];
         stored_ = elem =
@@ -588,7 +608,8 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         CHG(in);
         out.executed.set(in.line);
         R[in.a].i = 0;
-        R[in.a].fields = mod_.struct_defaults[static_cast<size_t>(in.imm)];
+        R[in.a].fields =
+            *mod_.struct_default_table[static_cast<size_t>(in.imm)];
         break;
       case Op::kDeclArr:
         CHG(in);
@@ -601,7 +622,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
       // --- calls ----------------------------------------------------------
       case Op::kCall: {
         CHG(in);
-        const CompiledFunction& callee = mod_.fns[in.b];
+        const CompiledFunction& callee = *mod_.fn_table[in.b];
         if (++depth_ > kMaxCallDepth) {
           throw Fault{FaultKind::kStackOverflow,
                       "call depth exceeded in " + callee.name};
@@ -612,6 +633,52 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         code = fn->code.data();
         pc = 0;
         R = frames_.back().data();
+        break;
+      }
+      // Fused one-line leaf calls: no frame is pushed; the callee's charges
+      // and coverage mark are replayed from its code, so exhaustion lines,
+      // step totals and the bitmap match a real call exactly.
+      case Op::kCallRetParam:
+      case Op::kCallRetConst: {
+        CHG(in);
+        const CompiledFunction& callee = *mod_.fn_table[in.b];
+        if (depth_ >= kMaxCallDepth) {
+          throw Fault{FaultKind::kStackOverflow,
+                      "call depth exceeded in " + callee.name};
+        }
+        const Insn* cc = callee.code.data();
+        CHARGE(cc[0].line);  // block entry
+        CHARGE(static_cast<uint32_t>(cc[0].imm));  // the one statement
+        out.executed.set(static_cast<uint32_t>(cc[0].imm));
+        CHARGE(cc[1].line);  // its operand load
+        if (in.op == Op::kCallRetParam) {
+          const ParamSpec& ps = callee.params[cc[1].b];
+          R[in.a].i = coerce(R[in.c + cc[1].b].i, ps.coerce);
+        } else {
+          R[in.a].i = cc[1].imm;
+        }
+        break;
+      }
+      case Op::kCallOutConst: {
+        CHG(in);
+        const CompiledFunction& callee = *mod_.fn_table[in.b];
+        if (depth_ >= kMaxCallDepth) {
+          throw Fault{FaultKind::kStackOverflow,
+                      "call depth exceeded in " + callee.name};
+        }
+        const Insn* cc = callee.code.data();
+        CHARGE(cc[0].line);
+        CHARGE(static_cast<uint32_t>(cc[0].imm));
+        out.executed.set(static_cast<uint32_t>(cc[0].imm));
+        CHARGE(cc[1].line);  // value literal
+        CHARGE(cc[2].line);  // port literal
+        CHARGE(cc[3].line);  // the out* call node
+        uint32_t w = cc[3].w;
+        uint32_t mask = w >= 32 ? 0xffffffffu : ((1u << w) - 1);
+        io_.io_out(static_cast<uint32_t>(cc[2].imm),
+                   static_cast<uint32_t>(cc[1].imm) & mask,
+                   static_cast<int>(w));
+        R[in.a].i = 0;  // void result, as a real call's kRetZero returns
         break;
       }
       case Op::kRet:
@@ -684,7 +751,8 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         CHG(in);
         R[in.a].i = R[in.b].i == R[in.c].i ? 1 : 0;
         break;
-      case Op::kDilEqStruct: {
+      case Op::kDilEqStruct:
+      case Op::kDilEqStructJump: {
         CHG(in);
         const auto& x = R[in.b].fields;
         const auto& y = R[in.c].fields;
@@ -699,7 +767,11 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         }
         int64_t xv = x.size() > 2 ? x[2].i : 0;
         int64_t yv = y.size() > 2 ? y[2].i : 0;
-        R[in.a].i = xv == yv ? 1 : 0;
+        if (in.op == Op::kDilEqStruct) {
+          R[in.a].i = xv == yv ? 1 : 0;
+        } else if (xv != yv) {
+          pc = static_cast<size_t>(in.imm);
+        }
         break;
       }
       case Op::kDilValInt:
@@ -713,7 +785,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
       case Op::kUnreachable:
         CHG(in);
         throw Fault{FaultKind::kInternal,
-                    mod_.strings[static_cast<size_t>(in.imm)]};
+                    mod_.str(static_cast<size_t>(in.imm))};
     }
   }
 }
@@ -727,12 +799,17 @@ RunOutcome Vm::run(const std::string& entry) {
   globals_.clear();
   globals_.resize(mod_.global_count);
   try {
+    // A spliced module initialises the prefix's globals from the shared
+    // segment's code, then its own tail globals — the same order (and the
+    // same charges) as one concatenated initialiser.
+    if (mod_.prefix) exec(mod_.prefix->globals_init, /*counts_depth=*/false, out);
     exec(mod_.globals_init, /*counts_depth=*/false, out);
-    auto it = mod_.fn_index.find(entry);
-    if (it == mod_.fn_index.end()) {
+    const uint32_t* entry_ix = mod_.find_fn(entry);
+    if (!entry_ix) {
       throw Fault{FaultKind::kInternal, "missing function " + entry};
     }
-    VmValue result = exec(mod_.fns[it->second], /*counts_depth=*/true, out);
+    VmValue result =
+        exec(*mod_.fn_table[*entry_ix], /*counts_depth=*/true, out);
     out.return_value = result.i;
   } catch (const Fault& f) {
     out.fault = f.kind;

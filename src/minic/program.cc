@@ -1,6 +1,7 @@
 #include "minic/program.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "minic/bytecode/vm.h"
 #include "minic/lexer.h"
@@ -53,7 +54,107 @@ PreparedPrefix prepare_prefix(const std::string& name,
   prefix.tokens = std::move(lexed.tokens);
   prefix.macros = std::move(lexed.macros);
   prefix.macro_use_lines = std::move(lexed.macro_use_lines);
+
+  // Stage 1 of the compiled-prefix pipeline: parse, typecheck and lower the
+  // prefix once. A prefix that does not stand alone as a clean unit (one
+  // whose declarations only resolve once the tail exists) keeps the cache
+  // empty and `compile_tail` callers must use the token-splice path.
+  auto compiled = std::make_shared<CompiledPrefix>();
+  {
+    support::DiagnosticEngine pd;
+    std::vector<Token> tokens = prefix.tokens;
+    Token eof;
+    eof.kind = Tok::kEof;
+    eof.loc.line = prefix.lines + 1;
+    tokens.push_back(eof);
+    Parser parser(std::move(tokens), pd);
+    auto unit = parser.parse();
+    if (!unit || pd.has_errors()) return prefix;
+    compiled->unit = std::move(*unit);
+    if (!typecheck(compiled->unit, pd)) return prefix;
+  }
+  compiled->symbols = snapshot_symbols(compiled->unit);
+  try {
+    compiled->segment = bytecode::compile_prefix(compiled->unit);
+  } catch (const Fault&) {
+    return prefix;  // lowering rejected the prefix: token path only
+  }
+  prefix.compiled = std::move(compiled);
   return prefix;
+}
+
+namespace {
+
+/// Whole-unit fallback for `compile_tail`: token-splice compile + full
+/// lowering. Byte-identical to whole-unit compilation by construction; used
+/// when tail/prefix symbol collisions make tail-only checking diverge.
+SplicedProgram spliced_from_whole_unit(const PreparedPrefix& prefix,
+                                       const std::string& tail) {
+  SplicedProgram out;
+  Program prog = compile_with_prefix(prefix, tail);
+  out.diags = std::move(prog.diags);
+  if (!prog.unit) return out;
+  out.macro_use_lines = std::move(prog.unit->macro_use_lines);
+  try {
+    out.module = std::make_shared<bytecode::Module>(
+        bytecode::compile_unit(*prog.unit));
+  } catch (const Fault& f) {
+    out.internal_error = f.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+SplicedProgram compile_tail(const PreparedPrefix& prefix,
+                            const std::string& tail) {
+  if (!prefix.compiled) {
+    throw std::logic_error(
+        "compile_tail: prefix has no stage-1 cache (prepare_prefix failed "
+        "or the prefix is not self-contained)");
+  }
+  const CompiledPrefix& cp = *prefix.compiled;
+  SplicedProgram out;
+  support::SourceBuffer buf(prefix.name, tail);
+  LexOptions options;
+  options.seed_macros = &prefix.macros;
+  options.line_offset = prefix.lines;
+  LexOutput lexed = lex_unit(buf, out.diags, options);
+  if (out.diags.has_errors()) return out;
+
+  out.macro_use_lines = prefix.macro_use_lines;
+  for (auto& [name, lines] : lexed.macro_use_lines) {
+    out.macro_use_lines[name].insert(lines.begin(), lines.end());
+  }
+
+  Parser parser(std::move(lexed.tokens), out.diags);
+  auto tail_unit = parser.parse();
+  if (!tail_unit) return out;
+  bool needs_whole_unit = false;
+  bool checked =
+      typecheck_tail(*tail_unit, cp.symbols, out.diags, &needs_whole_unit);
+  if (needs_whole_unit) {
+    // A tail declaration shadows a prefix symbol in a way whose diagnostics
+    // (or acceptance) only whole-unit checking reproduces.
+    SplicedProgram whole = spliced_from_whole_unit(prefix, tail);
+    whole.whole_unit_fallback = true;
+    return whole;
+  }
+  if (!checked) return out;
+
+  try {
+    out.module = std::make_shared<bytecode::Module>(
+        bytecode::compile_tail_unit(cp.segment, cp.unit, *tail_unit));
+  } catch (const Fault& f) {
+    out.internal_error = f.message;
+  }
+  return out;
+}
+
+RunOutcome run_module(const bytecode::Module& module, IoEnvironment& io,
+                      const std::string& entry, uint64_t step_budget) {
+  bytecode::Vm vm(module, io, step_budget);
+  return vm.run(entry);
 }
 
 Program compile_with_prefix(const PreparedPrefix& prefix,

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "minic/ast.h"
+#include "minic/bytecode/bytecode.h"
 #include "minic/interp.h"
 #include "minic/lexer.h"
+#include "minic/typecheck.h"
 #include "support/diagnostics.h"
 
 namespace minic {
@@ -53,17 +55,45 @@ enum class ExecEngine {
     ExecEngine engine = ExecEngine::kBytecodeVm);
 
 // ---------------------------------------------------------------------------
-// Token-level prefix cache.
+// Compiled-prefix cache: the three-stage per-mutant pipeline.
 //
 // The mutation campaigns compile `stubs + driver` once per mutant while the
-// stubs never change. `prepare_prefix` lexes the invariant prefix once;
-// `compile_with_prefix` then re-lexes only the (mutated) driver tail and
-// splices the two token streams, producing a Program byte-identical to
-// `compile(name, prefix_text + tail)`.
+// stubs never change, so the pipeline is split into
+//   1. prepare  — `prepare_prefix` runs ONCE per campaign: it lexes the
+//      invariant prefix, and (when the prefix is a self-contained unit)
+//      parses, typechecks and lowers it into an immutable, shareable
+//      `CompiledPrefix` (symbol tables + bytecode `ModuleSegment`);
+//   2. tail-compile — `compile_tail` runs per mutant: it lexes, parses and
+//      typechecks ONLY the mutated driver tail against the cached symbol
+//      tables (`typecheck_tail`), then lowers just the tail's functions
+//      with indices rebased past the segment's;
+//   3. splice — the per-mutant `bytecode::Module` aliases (does not copy)
+//      the segment's code, constants and struct defaults, and `run_module`
+//      executes it on the VM.
+// The result is byte-identical — diagnostics, fault kind/message, return
+// value, step count, coverage, log — to `compile(name, prefix_text + tail)`
+// followed by `run_unit`; a differential ctest suite enforces this. When the
+// tail collides with prefix symbols in ways only whole-unit checking
+// reports, `compile_tail` internally falls back to the token-splice
+// `compile_with_prefix` path.
+//
+// The token-level splice (`compile_with_prefix`) remains the whole-unit
+// path: it produces a full `Program` for the tree-walker oracle and for the
+// fallback, re-lexing only the tail but re-parsing/re-checking everything.
 // ---------------------------------------------------------------------------
 
-/// The invariant head of a translation unit, lexed once. Thread-safe to
-/// share across concurrent `compile_with_prefix` calls (const access only).
+/// The fully compiled invariant prefix: parsed decls, their symbol snapshot
+/// and the lowered bytecode segment. Immutable after construction —
+/// thread-safe to share by const reference / shared_ptr.
+struct CompiledPrefix {
+  Unit unit;                 // parsed + typechecked prefix declarations
+  PrefixSymbols symbols;     // seed tables pointing into `unit`
+  std::shared_ptr<const bytecode::ModuleSegment> segment;  // lowered code
+};
+
+/// The invariant head of a translation unit, prepared once. Thread-safe to
+/// share across concurrent `compile_with_prefix` / `compile_tail` calls
+/// (const access only).
 struct PreparedPrefix {
   std::string name;               // unit name, doubles as __FILE__
   uint32_t lines = 0;             // newline count of the prefix text
@@ -71,18 +101,55 @@ struct PreparedPrefix {
   MacroTable macros;              // #defines the prefix leaves in scope
   std::map<std::string, std::set<uint32_t>> macro_use_lines;
   support::DiagnosticEngine diags;
+  /// Stage-1 compile cache. Null when the prefix is not a self-contained
+  /// clean unit (then only the token-level splice is available).
+  std::shared_ptr<const CompiledPrefix> compiled;
 
   [[nodiscard]] bool ok() const { return !diags.has_errors(); }
 };
 
-/// Lexes `prefix_text` (possibly empty) under `name`.
+/// Lexes `prefix_text` (possibly empty) under `name` and, when it forms a
+/// self-contained unit, compiles it into the stage-1 cache.
 [[nodiscard]] PreparedPrefix prepare_prefix(const std::string& name,
                                             const std::string& prefix_text);
 
-/// Compiles `prefix + tail` reusing the prefix token stream. `prefix` must
-/// be ok(); `tail` is lexed with the prefix's macros in scope and with line
-/// numbers continuing after the prefix.
+/// Whole-unit path: compiles `prefix + tail` reusing the prefix token
+/// stream. `prefix` must be ok(); `tail` is lexed with the prefix's macros
+/// in scope and with line numbers continuing after the prefix. Produces a
+/// full Program (usable by either engine); re-parses and re-typechecks the
+/// prefix declarations every call.
 [[nodiscard]] Program compile_with_prefix(const PreparedPrefix& prefix,
                                           const std::string& tail);
+
+/// Result of the incremental tail pipeline: a spliced, VM-runnable module
+/// plus what outcome classification needs.
+struct SplicedProgram {
+  support::DiagnosticEngine diags;
+  std::shared_ptr<bytecode::Module> module;  // null when compilation failed
+  std::map<std::string, std::set<uint32_t>> macro_use_lines;
+  /// Non-empty when the tail type-checked but lowering rejected it
+  /// (minic::Fault{kInternal}); the caller must surface a kInternal
+  /// outcome, exactly as `run_unit` does for whole-unit lowering faults.
+  std::string internal_error;
+  /// True when the tail collided with prefix symbols and this result came
+  /// from the whole-unit fallback instead of the cached segment (the
+  /// campaigns count real cache hits from this).
+  bool whole_unit_fallback = false;
+
+  [[nodiscard]] bool ok() const { return module != nullptr; }
+};
+
+/// Stages 2+3: compiles only `tail` against `prefix.compiled` (which must be
+/// non-null) and splices the cached segment. See the pipeline comment above
+/// for the equivalence guarantee.
+[[nodiscard]] SplicedProgram compile_tail(const PreparedPrefix& prefix,
+                                          const std::string& tail);
+
+/// Runs `entry` in a spliced module on the bytecode VM. The walker has no
+/// module form — use `run_unit` with a whole-unit Program for the oracle.
+[[nodiscard]] RunOutcome run_module(const bytecode::Module& module,
+                                    IoEnvironment& io,
+                                    const std::string& entry,
+                                    uint64_t step_budget = 2'000'000);
 
 }  // namespace minic

@@ -52,6 +52,22 @@ class Checker {
   Checker(Unit& unit, support::DiagnosticEngine& diags)
       : unit_(unit), diags_(diags) {}
 
+  /// Tail mode: `unit` is the continuation of an already-checked prefix.
+  /// Struct/function/global tables are seeded from the prefix and tail
+  /// declarations extend its index spaces.
+  Checker(Unit& unit, const PrefixSymbols& prefix,
+          support::DiagnosticEngine& diags)
+      : unit_(unit), diags_(diags), prefix_(&prefix) {
+    structs_ = prefix.structs;
+    function_index_ = prefix.functions;
+    for (const auto& [name, g] : prefix.globals) {
+      globals_[name] = VarEntry{g.type, g.is_array, g.is_const,
+                                /*is_global=*/true, g.slot};
+    }
+    function_base_ = static_cast<int32_t>(prefix.unit->functions.size());
+    global_base_ = static_cast<int32_t>(prefix.unit->globals.size());
+  }
+
   bool run() {
     int before = diags_.error_count();
     collect_structs();
@@ -60,6 +76,8 @@ class Checker {
     for (auto& fn : unit_.functions) check_function(fn);
     return diags_.error_count() == before;
   }
+
+  [[nodiscard]] bool needs_whole_unit() const { return needs_whole_unit_; }
 
  private:
   // ---- symbol collection ----------------------------------------------------
@@ -86,10 +104,24 @@ class Checker {
         diags_.error("MC111", fn.loc, "function '" + fn.name + "' redefined");
         continue;
       }
-      function_index_[fn.name] = static_cast<int32_t>(i);
+      if (prefix_ && globals_.count(fn.name)) {
+        // Whole-unit checking reports this collision at the *prefix* global
+        // declaration and then fails every prefix use of the name; only a
+        // whole-unit pass reproduces those diagnostics.
+        needs_whole_unit_ = true;
+      }
+      function_index_[fn.name] = function_base_ + static_cast<int32_t>(i);
       validate_type(fn.return_type, fn.loc);
       for (const auto& p : fn.params) validate_type(p.type, p.loc);
     }
+  }
+
+  /// Function declaration behind a (possibly prefix-based) index.
+  const FunctionDecl& function_at(int32_t index) const {
+    if (index < function_base_) {
+      return prefix_->unit->functions[static_cast<size_t>(index)];
+    }
+    return unit_.functions[static_cast<size_t>(index - function_base_)];
   }
 
   void validate_type(const Type& t, support::SourceLoc loc) {
@@ -101,7 +133,7 @@ class Checker {
   void check_globals() {
     for (size_t i = 0; i < unit_.globals.size(); ++i) {
       GlobalDecl& g = unit_.globals[i];
-      const int32_t global_index = static_cast<int32_t>(i);
+      const int32_t global_index = global_base_ + static_cast<int32_t>(i);
       validate_type(g.type, g.loc);
       if (globals_.count(g.name) || function_index_.count(g.name)) {
         diags_.error("MC111", g.loc, "'" + g.name + "' redefined");
@@ -474,7 +506,7 @@ class Checker {
       return Type::int_type();
     }
     e.callee_index = it->second;
-    const FunctionDecl& fn = unit_.functions[static_cast<size_t>(it->second)];
+    const FunctionDecl& fn = function_at(it->second);
     if (args.size() != fn.params.size()) {
       std::ostringstream os;
       os << "function '" << e.text << "' expects " << fn.params.size()
@@ -593,9 +625,15 @@ class Checker {
 
   Unit& unit_;
   support::DiagnosticEngine& diags_;
+  const PrefixSymbols* prefix_ = nullptr;
+  bool needs_whole_unit_ = false;
+  /// Index bases in tail mode: tail functions/globals continue the prefix's
+  /// numbering, so annotations are valid in the spliced unit.
+  int32_t function_base_ = 0;
+  int32_t global_base_ = 0;
   std::map<std::string, const StructDecl*> structs_;
-  /// Function name -> index into Unit::functions (the interpreter's callee
-  /// table); the decl itself is unit_.functions[index].
+  /// Function name -> whole-unit function index (the interpreter's callee
+  /// table); the decl itself is function_at(index).
   std::map<std::string, int32_t> function_index_;
   std::map<std::string, VarEntry> globals_;
   std::vector<std::map<std::string, VarEntry>> scopes_;
@@ -607,6 +645,33 @@ class Checker {
 
 bool typecheck(Unit& unit, support::DiagnosticEngine& diags) {
   return Checker(unit, diags).run();
+}
+
+PrefixSymbols snapshot_symbols(const Unit& unit) {
+  PrefixSymbols out;
+  out.unit = &unit;
+  for (const auto& sd : unit.structs) {
+    out.structs.emplace(sd.name, &sd);  // first definition wins
+  }
+  for (size_t i = 0; i < unit.functions.size(); ++i) {
+    out.functions.emplace(unit.functions[i].name, static_cast<int32_t>(i));
+  }
+  for (size_t i = 0; i < unit.globals.size(); ++i) {
+    const GlobalDecl& g = unit.globals[i];
+    out.globals.emplace(
+        g.name, GlobalSymbol{g.type, g.array_size.has_value(), g.is_const,
+                             static_cast<int32_t>(i)});
+  }
+  return out;
+}
+
+bool typecheck_tail(Unit& tail, const PrefixSymbols& prefix,
+                    support::DiagnosticEngine& diags,
+                    bool* needs_whole_unit) {
+  Checker checker(tail, prefix, diags);
+  bool ok = checker.run();
+  if (needs_whole_unit) *needs_whole_unit = checker.needs_whole_unit();
+  return ok;
 }
 
 }  // namespace minic

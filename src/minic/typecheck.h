@@ -18,4 +18,45 @@ namespace minic {
 /// is well-typed. All problems are reported through `diags` with MC1xx codes.
 [[nodiscard]] bool typecheck(Unit& unit, support::DiagnosticEngine& diags);
 
+// ---------------------------------------------------------------------------
+// Incremental tail checking (the campaign's compiled-prefix cache).
+//
+// A campaign compiles `stubs + driver` once per mutant while the stubs never
+// change. `snapshot_symbols` exports the symbol tables of the typechecked
+// stub prefix once; `typecheck_tail` then checks only the (mutated) driver
+// tail against those tables, assigning function indices and global slots
+// that continue the prefix's numbering — so tail annotations (callee_index,
+// global_slot) are directly valid in the spliced whole-unit namespace.
+// ---------------------------------------------------------------------------
+
+/// One prefix global, as the tail checker needs to see it.
+struct GlobalSymbol {
+  Type type;
+  bool is_array = false;
+  bool is_const = false;
+  int32_t slot = -1;  // index into the prefix unit's globals
+};
+
+/// Read-only symbol snapshot of a self-contained, error-free prefix unit.
+/// Pointers reference the prefix Unit, which must outlive the snapshot.
+struct PrefixSymbols {
+  const Unit* unit = nullptr;
+  std::map<std::string, const StructDecl*> structs;
+  std::map<std::string, int32_t> functions;  // name -> prefix function index
+  std::map<std::string, GlobalSymbol> globals;
+};
+
+/// Builds the seed tables from an already-typechecked (clean) prefix unit.
+[[nodiscard]] PrefixSymbols snapshot_symbols(const Unit& unit);
+
+/// Checks `tail` as the continuation of `prefix`. Diagnostics are
+/// byte-identical to whole-unit checking of `prefix + tail` whenever the
+/// prefix itself is clean, EXCEPT when a tail function shadows a prefix
+/// global: whole-unit checking reports that at the *prefix* declaration (and
+/// cascades into prefix bodies), which a tail-only pass cannot reproduce —
+/// `*needs_whole_unit` is set and the caller must recompile the whole unit.
+[[nodiscard]] bool typecheck_tail(Unit& tail, const PrefixSymbols& prefix,
+                                  support::DiagnosticEngine& diags,
+                                  bool* needs_whole_unit);
+
 }  // namespace minic

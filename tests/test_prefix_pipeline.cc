@@ -1,0 +1,514 @@
+// Differential suite for the compiled-prefix mutant pipeline (prepare ->
+// tail-compile -> splice) and the widened superinstruction set.
+//
+// The cached path must be indistinguishable from whole-unit compilation:
+// same acceptance and first diagnostic, and byte-identical RunOutcome
+// (fault kind and message, return value, step count, coverage bitmap,
+// printk log) — across every corpus driver, sampled mutants of both
+// campaigns, and any thread count. Campaign records with the cache on and
+// off must match exactly; `prefix_cache_hits` proves the fast path ran.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/drivers.h"
+#include "corpus/smoke_drivers.h"
+#include "corpus/specs.h"
+#include "devil/compiler.h"
+#include "eval/driver_campaign.h"
+#include "eval/spec_campaign.h"
+#include "hw/ide_disk.h"
+#include "hw/io_bus.h"
+#include "hw/misc_devices.h"
+#include "minic/program.h"
+#include "mutation/c_mutator.h"
+
+namespace {
+
+void expect_same_outcome(const minic::RunOutcome& whole,
+                         const minic::RunOutcome& spliced,
+                         const std::string& label) {
+  EXPECT_EQ(whole.fault, spliced.fault) << label;
+  EXPECT_EQ(whole.fault_message, spliced.fault_message) << label;
+  EXPECT_EQ(whole.return_value, spliced.return_value) << label;
+  EXPECT_EQ(whole.steps_used, spliced.steps_used) << label;
+  EXPECT_EQ(whole.executed_lines, spliced.executed_lines) << label;
+  EXPECT_EQ(whole.log, spliced.log) << label;
+}
+
+/// Compiles `prefix_text + tail` both ways and runs both on fresh devices
+/// of the given factory; everything observable must match, including the
+/// walker oracle (three-way: walker, whole-unit VM, spliced VM).
+template <typename MakeBus>
+void diff_three_ways(const std::string& name, const std::string& prefix_text,
+                     const std::string& tail, const std::string& entry,
+                     uint64_t budget, MakeBus make_bus,
+                     const std::string& label) {
+  auto whole = minic::compile(name, prefix_text + tail);
+  ASSERT_TRUE(whole.ok()) << label << "\n" << whole.diags.render();
+
+  auto prefix = minic::prepare_prefix(name, prefix_text);
+  ASSERT_TRUE(prefix.ok()) << label;
+  ASSERT_TRUE(prefix.compiled != nullptr) << label;
+  auto spliced = minic::compile_tail(prefix, tail);
+  ASSERT_TRUE(spliced.ok()) << label << "\n" << spliced.diags.render();
+  EXPECT_EQ(whole.unit->macro_use_lines, spliced.macro_use_lines) << label;
+
+  auto bus_w = make_bus();
+  auto walker = minic::run_unit(*whole.unit, *bus_w, entry, budget,
+                                minic::ExecEngine::kTreeWalker);
+  auto bus_v = make_bus();
+  auto vm = minic::run_unit(*whole.unit, *bus_v, entry, budget,
+                            minic::ExecEngine::kBytecodeVm);
+  auto bus_s = make_bus();
+  auto fast = minic::run_module(*spliced.module, *bus_s, entry, budget);
+
+  expect_same_outcome(walker, vm, label + " [walker vs whole-unit vm]");
+  expect_same_outcome(vm, fast, label + " [whole-unit vm vs spliced]");
+}
+
+std::shared_ptr<hw::IoBus> ide_bus() {
+  auto bus = std::make_shared<hw::IoBus>();
+  bus->map(0x1f0, 8, std::make_shared<hw::IdeDisk>());
+  return bus;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus drivers: every stub set, both codegen modes.
+// ---------------------------------------------------------------------------
+
+TEST(PrefixPipeline, CIdeDriverEmptyPrefix) {
+  diff_three_ways("ide_c.c", "", corpus::c_ide_driver(), "ide_boot",
+                  3'000'000, ide_bus, "c ide");
+}
+
+TEST(PrefixPipeline, CDevilIdeDriverBothModes) {
+  for (auto mode :
+       {devil::CodegenMode::kDebug, devil::CodegenMode::kProduction}) {
+    auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(), mode);
+    ASSERT_TRUE(spec.ok()) << spec.diags.render();
+    diff_three_ways("ide.dil", spec.stubs + "\n", corpus::cdevil_ide_driver(),
+                    "ide_boot", 3'000'000, ide_bus,
+                    mode == devil::CodegenMode::kDebug ? "cdevil debug"
+                                                       : "cdevil production");
+  }
+}
+
+TEST(PrefixPipeline, SmokeDriversAllSpecsBothModes) {
+  struct Case {
+    const char* file;
+    const std::string* spec;
+    const std::string* driver;
+    const char* entry;
+    uint32_t base;
+    uint32_t len;
+    int device;  // 0 = ne2000, 1 = pci, 2 = permedia2
+  };
+  const Case cases[] = {
+      {"ne2000.dil", &corpus::ne2000_spec(), &corpus::cdevil_ne2000_driver(),
+       "nic_boot", 0x300, 32, 0},
+      {"piix_bm.dil", &corpus::pci_busmaster_spec(),
+       &corpus::cdevil_pci_driver(), "bm_boot", 0xc000, 16, 1},
+      {"permedia2.dil", &corpus::permedia2_spec(),
+       &corpus::cdevil_permedia_driver(), "gfx_boot", 0xd000, 16, 2},
+  };
+  for (const Case& c : cases) {
+    for (auto mode :
+         {devil::CodegenMode::kDebug, devil::CodegenMode::kProduction}) {
+      auto spec = devil::compile_spec(c.file, *c.spec, mode);
+      ASSERT_TRUE(spec.ok()) << c.file;
+      auto make_bus = [&c]() {
+        auto bus = std::make_shared<hw::IoBus>();
+        switch (c.device) {
+          case 0: bus->map(c.base, c.len, std::make_shared<hw::Ne2000>()); break;
+          case 1:
+            bus->map(c.base, c.len, std::make_shared<hw::PciBusMaster>());
+            break;
+          default:
+            bus->map(c.base, c.len, std::make_shared<hw::Permedia2>());
+            break;
+        }
+        return bus;
+      };
+      diff_three_ways(c.file, spec.stubs + "\n", *c.driver, c.entry, 500'000,
+                      make_bus, std::string(c.file) + " mode " +
+                                    std::to_string(static_cast<int>(mode)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled mutants of both campaigns: acceptance, first diagnostic and boot
+// outcome must match whole-unit compilation mutant by mutant.
+// ---------------------------------------------------------------------------
+
+void diff_mutants_cached(const std::string& stubs, const std::string& driver,
+                         bool is_cdevil, size_t stride,
+                         const std::string& label) {
+  const std::string prefix_text = stubs.empty() ? std::string() : stubs + "\n";
+  auto prefix = minic::prepare_prefix("unit.c", prefix_text);
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_TRUE(prefix.compiled != nullptr);
+
+  mutation::CScanOptions scan;
+  scan.classes = is_cdevil
+                     ? mutation::classes_for_cdevil_driver(stubs, driver)
+                     : mutation::classes_for_c_driver(driver);
+  auto sites = mutation::scan_c_sites(driver, scan);
+  auto mutants = mutation::generate_c_mutants(sites, scan.classes);
+  ASSERT_GT(mutants.size(), 0u);
+
+  size_t booted = 0, rejected = 0;
+  for (size_t m = 0; m < mutants.size(); m += stride) {
+    std::string mutated = mutation::apply_mutant(driver, sites, mutants[m]);
+    std::string label_m = label + " mutant #" + std::to_string(m);
+    auto whole = minic::compile("unit.c", prefix_text + mutated);
+    auto fast = minic::compile_tail(prefix, mutated);
+    ASSERT_EQ(whole.ok(), fast.ok()) << label_m;
+    if (!whole.ok()) {
+      // Identical rejection: the campaign records carry the first line.
+      ASSERT_FALSE(whole.diags.all().empty()) << label_m;
+      ASSERT_FALSE(fast.diags.all().empty()) << label_m;
+      EXPECT_EQ(whole.diags.all().front().to_string(),
+                fast.diags.all().front().to_string())
+          << label_m;
+      ++rejected;
+      continue;
+    }
+    auto bus_w = ide_bus();
+    auto vm = minic::run_unit(*whole.unit, *bus_w, "ide_boot", 3'000'000,
+                              minic::ExecEngine::kBytecodeVm);
+    auto bus_f = ide_bus();
+    auto fast_run =
+        minic::run_module(*fast.module, *bus_f, "ide_boot", 3'000'000);
+    expect_same_outcome(vm, fast_run, label_m);
+    ++booted;
+  }
+  EXPECT_GT(booted, 15u) << label;
+  EXPECT_GT(rejected, 5u) << label;
+}
+
+TEST(PrefixPipeline, SampledCDriverMutants) {
+  diff_mutants_cached("", corpus::c_ide_driver(), false, 53, "c");
+}
+
+TEST(PrefixPipeline, SampledCDevilMutants) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  ASSERT_TRUE(spec.ok());
+  diff_mutants_cached(spec.stubs, corpus::cdevil_ide_driver(), true, 37,
+                      "cdevil");
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level byte identity: prefix cache on vs off, threads 1 vs 4.
+// ---------------------------------------------------------------------------
+
+void expect_identical_records(const eval::DriverCampaignResult& a,
+                              const eval::DriverCampaignResult& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.clean_fingerprint, b.clean_fingerprint) << label;
+  EXPECT_EQ(a.total_sites, b.total_sites) << label;
+  EXPECT_EQ(a.total_mutants, b.total_mutants) << label;
+  EXPECT_EQ(a.sampled_mutants, b.sampled_mutants) << label;
+  EXPECT_EQ(a.deduped_mutants, b.deduped_mutants) << label;
+  EXPECT_EQ(a.tally.mutants, b.tally.mutants) << label;
+  EXPECT_EQ(a.tally.sites, b.tally.sites) << label;
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].mutant_index, b.records[i].mutant_index)
+        << label << " #" << i;
+    EXPECT_EQ(a.records[i].site, b.records[i].site) << label << " #" << i;
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome)
+        << label << " #" << i;
+    EXPECT_EQ(a.records[i].detail, b.records[i].detail) << label << " #" << i;
+    EXPECT_EQ(a.records[i].deduped, b.records[i].deduped)
+        << label << " #" << i;
+  }
+}
+
+void campaign_cache_on_off(eval::DriverCampaignConfig cfg,
+                           const std::string& label) {
+  for (unsigned threads : {1u, 4u}) {
+    cfg.threads = threads;
+    cfg.prefix_cache = true;
+    auto cached = eval::run_ide_campaign(cfg);
+    cfg.prefix_cache = false;
+    auto plain = eval::run_ide_campaign(cfg);
+    std::string l = label + " threads=" + std::to_string(threads);
+    expect_identical_records(plain, cached, l);
+    // The counters prove which pipeline ran.
+    EXPECT_GT(cached.prefix_cache_hits, 0u) << l;
+    EXPECT_EQ(cached.prefix_cache_hits,
+              cached.sampled_mutants - cached.deduped_mutants)
+        << l;
+    EXPECT_EQ(plain.prefix_cache_hits, 0u) << l;
+  }
+}
+
+TEST(PrefixPipeline, CCampaignByteIdenticalCacheOnOff) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_ide_driver();
+  cfg.sample_percent = 10;
+  campaign_cache_on_off(cfg, "c");
+}
+
+TEST(PrefixPipeline, CDevilCampaignByteIdenticalCacheOnOff) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  ASSERT_TRUE(spec.ok());
+  eval::DriverCampaignConfig cfg;
+  cfg.stubs = spec.stubs;
+  cfg.driver = corpus::cdevil_ide_driver();
+  cfg.is_cdevil = true;
+  cfg.sample_percent = 10;
+  campaign_cache_on_off(cfg, "cdevil");
+}
+
+// ---------------------------------------------------------------------------
+// Tail/prefix symbol collisions: the cached path must reproduce whole-unit
+// diagnostics (falling back to whole-unit compilation where needed).
+// ---------------------------------------------------------------------------
+
+void expect_same_rejection(const std::string& prefix_text,
+                           const std::string& tail, const std::string& label) {
+  auto whole = minic::compile("u.c", prefix_text + tail);
+  auto prefix = minic::prepare_prefix("u.c", prefix_text);
+  ASSERT_TRUE(prefix.ok()) << label;
+  ASSERT_TRUE(prefix.compiled != nullptr) << label;
+  auto fast = minic::compile_tail(prefix, tail);
+  ASSERT_FALSE(whole.ok()) << label;
+  ASSERT_FALSE(fast.ok()) << label;
+  ASSERT_FALSE(whole.diags.all().empty()) << label;
+  ASSERT_FALSE(fast.diags.all().empty()) << label;
+  EXPECT_EQ(whole.diags.render(), fast.diags.render()) << label;
+}
+
+TEST(PrefixPipeline, TailCollisionsMatchWholeUnitDiagnostics) {
+  const std::string prefix =
+      "int counter;\n"
+      "struct pair { int a; int b; };\n"
+      "int bump() { counter = counter + 1; return counter; }\n";
+  expect_same_rejection(prefix, "int bump() { return 1; }\n",
+                        "function redefined");
+  expect_same_rejection(prefix, "int counter;\n int f() { return 0; }\n",
+                        "global redefined");
+  expect_same_rejection(prefix, "struct pair { int x; };\n",
+                        "struct redefined");
+  // A tail *function* named like a prefix *global* is the fallback case:
+  // whole-unit checking reports it at the prefix declaration and cascades
+  // into the prefix body; the cached path must recompile the whole unit to
+  // reproduce that.
+  expect_same_rejection(prefix, "int counter() { return 1; }\n",
+                        "function shadows prefix global");
+}
+
+TEST(PrefixPipeline, TailMayDefineFreshSymbols) {
+  const std::string prefix = "int base() { return 40; }\n#define TWO 2\n";
+  auto prefix_p = minic::prepare_prefix("u.c", prefix);
+  ASSERT_TRUE(prefix_p.compiled != nullptr);
+  auto fast = minic::compile_tail(
+      prefix_p,
+      "struct v { int x; };\nint g;\n"
+      "int f() { struct v t; t.x = base() + TWO; g = t.x; return g; }\n");
+  ASSERT_TRUE(fast.ok()) << fast.diags.render();
+  hw::IoBus bus;
+  auto out = minic::run_module(*fast.module, bus, "f", 1000);
+  EXPECT_EQ(out.return_value, 42);
+}
+
+TEST(PrefixPipeline, NonSelfContainedPrefixHasNoCache) {
+  // A prefix calling a function only the tail defines cannot be checked
+  // standalone; the stage-1 cache stays empty and the token-splice path
+  // still accepts the unit.
+  auto prefix = minic::prepare_prefix("u.c", "int f() { return g(); }\n");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.compiled, nullptr);
+  auto whole =
+      minic::compile_with_prefix(prefix, "int g() { return 7; }\n");
+  EXPECT_TRUE(whole.ok()) << whole.diags.render();
+}
+
+// ---------------------------------------------------------------------------
+// Widened superinstructions: dense budget sweeps pin the charge model of
+// the fused compare+branch and call+ret forms against the walker.
+// ---------------------------------------------------------------------------
+
+class FakeIo : public minic::IoEnvironment {
+ public:
+  uint32_t io_in(uint32_t port, int width) override {
+    (void)width;
+    auto it = values.find(port);
+    return it == values.end() ? 0xffu : it->second;
+  }
+  void io_out(uint32_t port, uint32_t value, int width) override {
+    writes.emplace_back(port, value, width);
+  }
+  std::map<uint32_t, uint32_t> values;
+  std::vector<std::tuple<uint32_t, uint32_t, int>> writes;
+};
+
+void sweep_source(const std::string& src, const std::string& entry,
+                  const std::string& label) {
+  auto prog = minic::compile("t.c", src);
+  ASSERT_TRUE(prog.ok()) << label << "\n" << prog.diags.render();
+  FakeIo probe;
+  probe.values[0x1f7] = 0x50;
+  auto full = minic::run_unit(*prog.unit, probe, entry, 200'000,
+                              minic::ExecEngine::kTreeWalker);
+  ASSERT_LT(full.steps_used, 5000u) << label;
+  for (uint64_t budget = 0; budget <= full.steps_used + 2; ++budget) {
+    FakeIo io_w, io_v;
+    io_w.values[0x1f7] = io_v.values[0x1f7] = 0x50;
+    auto walker = minic::run_unit(*prog.unit, io_w, entry, budget,
+                                  minic::ExecEngine::kTreeWalker);
+    auto vm = minic::run_unit(*prog.unit, io_v, entry, budget,
+                              minic::ExecEngine::kBytecodeVm);
+    expect_same_outcome(walker, vm,
+                        label + " budget=" + std::to_string(budget));
+    EXPECT_EQ(io_w.writes, io_v.writes) << label << " budget=" << budget;
+  }
+}
+
+TEST(Superinstructions, CompareBranchShapes) {
+  sweep_source(R"(
+int f() {
+  int stat;
+  int n;
+  int big;
+  n = 0;
+  stat = 0;
+  big = 100000;
+  while ((stat & 0x08) == 0) {      /* kBinImmJump (== 0) */
+    if (stat & 0x21) { n = n + 1; } /* kBinImmJump (& mask) */
+    stat = stat + 3;
+  }
+  if (n == stat) { n = n + 7; }     /* kBinJump via kBinImm? reg==reg */
+  if (n < stat) { n = n + 9; }      /* relational */
+  if (n == big) { n = 0; }          /* literal too big? still kBinImm path */
+  if (dil_eq(n, 3)) { n = n + 1; }  /* kDilEqIntJump */
+  for (stat = 0; stat != 4; stat = stat + 1) { n = n + stat; }
+  return n;
+}
+)",
+               "f", "compare+branch");
+}
+
+TEST(Superinstructions, CompareBranchDivFault) {
+  // The fused producer can fault (div by zero) — kind, message and step
+  // count must match the walker at every budget.
+  sweep_source(R"(
+int f() {
+  int z;
+  int n;
+  z = 0;
+  n = 3;
+  if (n / z) { n = 1; }
+  return n;
+}
+)",
+               "f", "fused div fault");
+}
+
+TEST(Superinstructions, DilEqStructBranch) {
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  ASSERT_TRUE(spec.ok());
+  // The CDevil poll loops (`while (dil_eq(get_X(), CONST))`) lower to the
+  // fused struct compare+branch; run the whole driver on both engines.
+  auto prog = minic::compile("ide.dil",
+                             spec.stubs + "\n" + corpus::cdevil_ide_driver());
+  ASSERT_TRUE(prog.ok()) << prog.diags.render();
+  auto bus_w = ide_bus();
+  auto walker = minic::run_unit(*prog.unit, *bus_w, "ide_boot", 3'000'000,
+                                minic::ExecEngine::kTreeWalker);
+  auto bus_v = ide_bus();
+  auto vm = minic::run_unit(*prog.unit, *bus_v, "ide_boot", 3'000'000,
+                            minic::ExecEngine::kBytecodeVm);
+  expect_same_outcome(walker, vm, "cdevil dil_eq struct branch");
+}
+
+TEST(Superinstructions, LeafCallShapes) {
+  sweep_source(R"(
+int mk_ident(int v) { return v; }
+u8 mk_narrow(u8 v) { return v; }
+int magic() { return 1234; }
+void poke() { outb(0xAB, 0x80); }
+int f() {
+  int acc;
+  int i;
+  acc = 0;
+  for (i = 0; i < 5; i++) {
+    acc = acc + mk_ident(i * 3);
+    acc = acc + mk_narrow(acc);     /* coercion preserved through fusion */
+  }
+  acc = acc + magic();
+  poke();
+  return acc;
+}
+)",
+               "f", "leaf calls");
+}
+
+TEST(Superinstructions, LeafCallDepthOverflow) {
+  // The fused call skips the frame but must still report stack overflow
+  // with the callee's name at exactly the walker's depth.
+  for (int depth = 120; depth <= 135; ++depth) {
+    std::string src = R"(
+int leaf(int v) { return v; }
+int f(int n) {
+  if (n > 0) { return f(n - 1); }
+  return leaf(5);
+}
+int main_entry() { return f()" +
+                      std::to_string(depth) + R"(); }
+)";
+    auto prog = minic::compile("t.c", src);
+    ASSERT_TRUE(prog.ok()) << prog.diags.render();
+    FakeIo io_w, io_v;
+    auto walker = minic::run_unit(*prog.unit, io_w, "main_entry", 100'000,
+                                  minic::ExecEngine::kTreeWalker);
+    auto vm = minic::run_unit(*prog.unit, io_v, "main_entry", 100'000,
+                              minic::ExecEngine::kBytecodeVm);
+    expect_same_outcome(walker, vm, "depth=" + std::to_string(depth));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-campaign dedup: skipping canonical duplicates must not change any
+// row, and duplicates must be counted.
+// ---------------------------------------------------------------------------
+
+TEST(SpecCampaignDedup, RowsUnchangedAndNonzero) {
+  for (const auto& spec : corpus::all_specs()) {
+    eval::SpecCampaignConfig cfg;
+    cfg.threads = 2;
+    cfg.dedup = true;
+    auto on = eval::run_spec_campaign(spec, cfg);
+    cfg.dedup = false;
+    auto off = eval::run_spec_campaign(spec, cfg);
+    EXPECT_EQ(off.deduped, 0u) << spec.name;
+    EXPECT_GT(on.deduped, 0u) << spec.name;
+    EXPECT_EQ(on.mutants, off.mutants) << spec.name;
+    EXPECT_EQ(on.sites, off.sites) << spec.name;
+    EXPECT_EQ(on.detected, off.detected) << spec.name;
+    EXPECT_EQ(on.undetected_samples, off.undetected_samples) << spec.name;
+  }
+}
+
+TEST(SpecCampaignDedup, ThreadCountInvariant) {
+  const auto& spec = corpus::all_specs()[0];
+  eval::SpecCampaignConfig cfg;
+  cfg.threads = 1;
+  auto serial = eval::run_spec_campaign(spec, cfg);
+  cfg.threads = 4;
+  auto parallel = eval::run_spec_campaign(spec, cfg);
+  EXPECT_EQ(serial.detected, parallel.detected);
+  EXPECT_EQ(serial.deduped, parallel.deduped);
+  EXPECT_EQ(serial.undetected_samples, parallel.undetected_samples);
+}
+
+}  // namespace
