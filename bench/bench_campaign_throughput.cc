@@ -9,6 +9,7 @@
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
@@ -289,6 +290,52 @@ void BM_CampaignParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignParallel)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// E12 — Second device: busmouse campaign throughput on the generic kernel
+// (full enumeration, 1 thread; the corpus is small enough to skip the 25%
+// sample). Mutants/s is the comparable headline counter.
+// ---------------------------------------------------------------------------
+
+void busmouse_campaign_bench(benchmark::State& state, bool cdevil) {
+  auto spec = devil::compile_spec("busmouse.dil", corpus::busmouse_spec(),
+                                  devil::CodegenMode::kDebug);
+  eval::DriverCampaignConfig cfg;
+  if (cdevil) {
+    cfg.stubs = spec.stubs;
+    cfg.driver = corpus::cdevil_busmouse_driver();
+    cfg.is_cdevil = true;
+  } else {
+    cfg.driver = corpus::c_busmouse_driver();
+  }
+  cfg.device = eval::busmouse_binding();
+  cfg.sample_percent = 100;
+  cfg.threads = 1;
+  size_t mutants = 0, deduped = 0;
+  for (auto _ : state) {
+    auto res = eval::run_driver_campaign(cfg);
+    mutants = res.sampled_mutants;
+    deduped = res.deduped_mutants;
+    benchmark::DoNotOptimize(res.tally.total_mutants);
+  }
+  state.counters["mutants"] = static_cast<double>(mutants);
+  state.counters["deduped"] = static_cast<double>(deduped);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(mutants * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CampaignBusmouseC(benchmark::State& state) {
+  busmouse_campaign_bench(state, false);
+}
+BENCHMARK(BM_CampaignBusmouseC)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CampaignBusmouseCDevil(benchmark::State& state) {
+  busmouse_campaign_bench(state, true);
+}
+BENCHMARK(BM_CampaignBusmouseCDevil)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "corpus/drivers.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/report.h"
 

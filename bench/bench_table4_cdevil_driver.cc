@@ -11,6 +11,7 @@
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/report.h"
 

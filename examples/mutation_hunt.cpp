@@ -7,15 +7,18 @@
 //
 // With `--threads N` it additionally runs the full Tables 3/4 campaigns on
 // the parallel engine (N worker threads, 0 = all cores) and prints the
-// comparison — the whole paper evaluation in seconds.
+// comparison — the whole paper evaluation in seconds. `--device
+// {ide,busmouse,all}` picks the device under test (default: all).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/report.h"
 #include "hw/ide_disk.h"
@@ -66,72 +69,100 @@ std::string replace_once(std::string text, const std::string& from,
   return text;
 }
 
-/// Runs the full C vs CDevil driver campaigns on `threads` workers and
-/// prints the paper's Tables 3/4 plus the headline comparison. With
-/// `assert_counters` (the CI Release smoke) the exit code additionally
+/// Runs one device's full C vs CDevil driver campaigns on `threads`
+/// workers and prints the paper's Tables 3/4 plus the headline comparison.
+/// With `assert_counters` (the CI Release smoke) the exit code additionally
 /// verifies that the throughput machinery actually engaged: canonical
 /// dedup skipped at least one mutant and the compiled-prefix cache served
 /// every unique compile.
-int run_campaigns(unsigned threads, bool assert_counters) {
-  std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
-              "cores, %s engine)...\n\n",
-              threads, minic::exec_engine_name(g_engine));
+bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
+                          unsigned threads, bool assert_counters) {
+  eval::DeviceBinding binding = eval::binding_for(drivers.device);
+
   eval::DriverCampaignConfig c_cfg;
-  c_cfg.driver = corpus::c_ide_driver();
+  c_cfg.driver = drivers.c_driver();
+  c_cfg.device = binding;
+  c_cfg.sample_percent = drivers.sample_percent;
   c_cfg.threads = threads;
   c_cfg.engine = g_engine;
-  auto c_res = eval::run_ide_campaign(c_cfg);
+  auto c_res = eval::run_driver_campaign(c_cfg);
 
-  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+  auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
                                   devil::CodegenMode::kDebug);
   if (!spec.ok()) {
     std::fprintf(stderr, "%s", spec.diags.render().c_str());
-    return 1;
+    return false;
   }
   eval::DriverCampaignConfig d_cfg;
   d_cfg.stubs = spec.stubs;
-  d_cfg.driver = corpus::cdevil_ide_driver();
+  d_cfg.driver = drivers.cdevil_driver();
+  d_cfg.device = binding;
   d_cfg.is_cdevil = true;
+  d_cfg.sample_percent = drivers.sample_percent;
   d_cfg.threads = threads;
   d_cfg.engine = g_engine;
-  auto d_res = eval::run_ide_campaign(d_cfg);
+  auto d_res = eval::run_driver_campaign(d_cfg);
 
-  std::printf("%s\n", eval::render_driver_table("Table 3: original C driver",
-                                                c_res).c_str());
-  std::printf("%s\n", eval::render_driver_table("Table 4: CDevil driver",
-                                                d_res).c_str());
-  std::printf("%s\n", eval::render_comparison(c_res, d_res).c_str());
-  std::printf("Engine counters: C dedup %zu/%zu, prefix-cache %zu; "
+  std::printf("%s\n", eval::render_campaign_tables(c_res, d_res).c_str());
+  std::printf("Engine counters [%s]: C dedup %zu/%zu, prefix-cache %zu; "
               "CDevil dedup %zu/%zu, prefix-cache %zu\n",
-              c_res.deduped_mutants, c_res.sampled_mutants,
+              drivers.device, c_res.deduped_mutants, c_res.sampled_mutants,
               c_res.prefix_cache_hits, d_res.deduped_mutants,
               d_res.sampled_mutants, d_res.prefix_cache_hits);
-  if (assert_counters) {
-    // The walker engine compiles whole units by design, so cache hits are
-    // only expected on the bytecode VM.
-    const bool expect_cache = g_engine == minic::ExecEngine::kBytecodeVm;
-    auto check = [expect_cache](const char* what,
-                                const eval::DriverCampaignResult& r) {
-      if (r.deduped_mutants == 0) {
-        std::fprintf(stderr, "FAIL: %s campaign deduped 0 mutants\n", what);
-        return false;
-      }
-      size_t unique = r.sampled_mutants - r.deduped_mutants;
-      if (expect_cache &&
-          (r.prefix_cache_hits == 0 || r.prefix_cache_hits > unique)) {
-        std::fprintf(stderr,
-                     "FAIL: %s campaign compiled %zu of %zu unique mutants "
-                     "through the prefix cache\n",
-                     what, r.prefix_cache_hits, unique);
-        return false;
-      }
-      return true;
-    };
-    bool ok = check("C", c_res) & check("CDevil", d_res);
-    std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
-    return ok ? 0 : 1;
+  if (!assert_counters) return true;
+  // The walker engine compiles whole units by design, so cache hits are
+  // only expected on the bytecode VM.
+  const bool expect_cache = g_engine == minic::ExecEngine::kBytecodeVm;
+  auto check = [expect_cache, &drivers](const char* what,
+                                        const eval::DriverCampaignResult& r) {
+    if (r.deduped_mutants == 0) {
+      std::fprintf(stderr, "FAIL: %s %s campaign deduped 0 mutants\n",
+                   drivers.device, what);
+      return false;
+    }
+    size_t unique = r.sampled_mutants - r.deduped_mutants;
+    if (expect_cache &&
+        (r.prefix_cache_hits == 0 || r.prefix_cache_hits > unique)) {
+      std::fprintf(stderr,
+                   "FAIL: %s %s campaign compiled %zu of %zu unique mutants "
+                   "through the prefix cache\n",
+                   drivers.device, what, r.prefix_cache_hits, unique);
+      return false;
+    }
+    return true;
+  };
+  return check("C", c_res) & check("CDevil", d_res);
+}
+
+/// Runs the campaigns for every corpus device matching `device_filter`
+/// ("all" runs each of them — the CI smoke path).
+int run_campaigns(unsigned threads, bool assert_counters,
+                  const std::string& device_filter) {
+  std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
+              "cores, %s engine, device %s)...\n\n",
+              threads, minic::exec_engine_name(g_engine),
+              device_filter.c_str());
+  bool ok = true;
+  bool matched = false;
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    if (device_filter != "all" && device_filter != drivers.device) continue;
+    matched = true;
+    std::printf("=== %s ===\n\n", drivers.device);
+    ok &= run_device_campaigns(drivers, threads, assert_counters);
   }
-  return 0;
+  if (!matched) {
+    std::fprintf(stderr, "unknown --device '%s' (known: all",
+                 device_filter.c_str());
+    for (const auto& drivers : corpus::campaign_drivers()) {
+      std::fprintf(stderr, ", %s", drivers.device);
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (assert_counters) {
+    std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -150,12 +181,42 @@ int main(int argc, char** argv) {
       assert_counters = true;
     }
   }
+  // --device {ide,busmouse,all} picks which corpus device the campaigns
+  // mutate; default runs them all (Tables 3/4 per device). Passing it
+  // without --threads still runs the campaigns (on one worker), so a
+  // typoed device name can never exit 0 without campaigning.
+  std::string device = "all";
+  bool device_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      device = argv[i + 1];
+      device_given = true;
+    }
+  }
+  if (device != "all") {
+    bool known = false;
+    for (const auto& drivers : corpus::campaign_drivers()) {
+      known = known || device == drivers.device;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown --device '%s' (known: all",
+                   device.c_str());
+      for (const auto& drivers : corpus::campaign_drivers()) {
+        std::fprintf(stderr, ", %s", drivers.device);
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       return run_campaigns(
           static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)),
-          assert_counters);
+          assert_counters, device);
     }
+  }
+  if (device_given || assert_counters) {
+    return run_campaigns(1, assert_counters, device);
   }
 
   std::printf("Scenario: selecting the drive, the developer writes the\n"

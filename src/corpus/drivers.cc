@@ -1,6 +1,18 @@
 #include "corpus/drivers.h"
 
+#include "corpus/specs.h"
+
 namespace corpus {
+
+const std::vector<CampaignDrivers>& campaign_drivers() {
+  static const std::vector<CampaignDrivers> cases = {
+      {"ide", "ide.dil", &ide_spec, &c_ide_driver, &cdevil_ide_driver,
+       kIdeEntry, 25},
+      {"busmouse", "busmouse.dil", &busmouse_spec, &c_busmouse_driver,
+       &cdevil_busmouse_driver, kMouseEntry, 100},
+  };
+  return cases;
+}
 
 // ---------------------------------------------------------------------------
 // Classic C IDE driver (hardware operating code in the tagged region).

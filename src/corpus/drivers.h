@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace corpus {
 
@@ -27,5 +28,25 @@ namespace corpus {
 /// Entry-point names.
 inline constexpr const char* kIdeEntry = "ide_boot";
 inline constexpr const char* kMouseEntry = "mouse_boot";
+
+/// One device's pair of campaign drivers for the Tables 3/4 evaluation:
+/// the classic C driver and the CDevil glue, plus the Devil spec whose
+/// generated stubs the CDevil driver is concatenated after. `device`
+/// matches the standard eval binding names ("ide", "busmouse").
+struct CampaignDrivers {
+  const char* device;
+  const char* spec_file;  // name for the generated stubs (__FILE__)
+  const std::string& (*spec)();
+  const std::string& (*c_driver)();
+  const std::string& (*cdevil_driver)();
+  const char* entry;
+  /// Fraction of generated mutants the evaluation boots. The IDE corpus
+  /// follows the paper's 25% sample (§4.2, experiments cost 2 minutes
+  /// each); the busmouse corpus is small enough to enumerate fully.
+  unsigned sample_percent;
+};
+
+/// Every device with a full mutation-campaign corpus, in report order.
+[[nodiscard]] const std::vector<CampaignDrivers>& campaign_drivers();
 
 }  // namespace corpus

@@ -1,0 +1,56 @@
+#include "eval/device_bindings.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "hw/busmouse.h"
+#include "hw/ide_disk.h"
+
+namespace eval {
+
+DeviceBinding ide_binding() {
+  DeviceBinding b;
+  b.device = "ide";
+  b.port_base = 0x1f0;
+  b.port_span = 8;
+  b.entry = "ide_boot";
+  b.make_device = [] { return std::make_shared<hw::IdeDisk>(); };
+  return b;
+}
+
+DeviceBinding busmouse_binding() {
+  DeviceBinding b;
+  b.device = "busmouse";
+  b.port_base = 0x23c;
+  b.port_span = 4;
+  b.entry = "mouse_boot";
+  b.make_device = [] { return std::make_shared<hw::Busmouse>(); };
+  return b;
+}
+
+const std::vector<DeviceBinding>& standard_bindings() {
+  static const std::vector<DeviceBinding> bindings = {ide_binding(),
+                                                      busmouse_binding()};
+  return bindings;
+}
+
+DeviceBinding binding_for(const std::string& device) {
+  for (const DeviceBinding& b : standard_bindings()) {
+    if (b.device == device) return b;
+  }
+  std::string known;
+  for (const DeviceBinding& b : standard_bindings()) {
+    known += known.empty() ? b.device : ", " + b.device;
+  }
+  throw std::logic_error("no device binding named '" + device +
+                         "' (known: " + known + ")");
+}
+
+DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
+  if (config.device.ok()) return run_driver_campaign(config);
+  DriverCampaignConfig bound = config;
+  bound.device = ide_binding();
+  return run_driver_campaign(bound);
+}
+
+}  // namespace eval

@@ -1,0 +1,36 @@
+// Standard device bindings for the driver campaigns, plus the historical
+// IDE-named compat wrapper. This is the only file under src/eval/ that
+// names concrete device models or their port windows; the campaign kernel
+// itself (driver_campaign.{h,cc}) is device-agnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/driver_campaign.h"
+
+namespace eval {
+
+/// PIIX4 IDE disk at 0x1f0..0x1f7, entry `ide_boot` (the paper's §4.2
+/// device under test).
+[[nodiscard]] DeviceBinding ide_binding();
+
+/// Logitech busmouse at 0x23c..0x23f, entry `mouse_boot` (the paper's
+/// running example, Fig. 1-3).
+[[nodiscard]] DeviceBinding busmouse_binding();
+
+/// All bindings with full campaign corpora, in stable report order.
+[[nodiscard]] const std::vector<DeviceBinding>& standard_bindings();
+
+/// Looks up a standard binding by device name ("ide", "busmouse").
+/// Throws std::logic_error listing the known names otherwise.
+[[nodiscard]] DeviceBinding binding_for(const std::string& device);
+
+/// Compat wrapper for the original IDE-only entry point: fills in
+/// `ide_binding()` when the config has no device binding, then runs the
+/// generic campaign. Configs that already carry a binding pass through
+/// unchanged, so legacy call sites work for any device.
+[[nodiscard]] DriverCampaignResult run_ide_campaign(
+    const DriverCampaignConfig& config);
+
+}  // namespace eval

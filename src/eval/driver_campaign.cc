@@ -4,7 +4,6 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/lexer.h"
 #include "minic/program.h"
@@ -67,14 +66,15 @@ Outcome classify_fault(minic::FaultKind kind) {
 }
 
 /// Everything invariant across mutants, computed once per campaign and
-/// shared read-only by all workers (the disk pool is internally locked).
+/// shared read-only by all workers (the device pool is internally locked).
 struct PreparedCampaign {
   const DriverCampaignConfig* config = nullptr;
+  std::string entry;             // resolved: config override or binding default
   minic::PreparedPrefix prefix;  // stubs lexed once
   std::vector<mutation::Site> sites;
   std::vector<mutation::Mutant> mutants;
   int64_t clean_fingerprint = 0;
-  mutable hw::IdeDiskPool disk_pool;
+  mutable hw::DevicePool device_pool;
 };
 
 /// The site-independent residue of one compile+boot, kept only for mutants
@@ -174,12 +174,12 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
   }
 
   hw::IoBus bus;
-  auto disk = prep.disk_pool.acquire();
-  bus.map(0x1f0, 8, disk);
+  auto dev = prep.device_pool.acquire();
+  bus.map(config.device.port_base, config.device.port_span, dev);
   auto run = cached
-                 ? minic::run_module(*spliced.module, bus, config.entry,
+                 ? minic::run_module(*spliced.module, bus, prep.entry,
                                      config.step_budget)
-                 : minic::run_unit(*prog.unit, bus, config.entry,
+                 : minic::run_unit(*prog.unit, bus, prep.entry,
                                    config.step_budget, config.engine);
 
   if (run.fault == minic::FaultKind::kInternal) {
@@ -189,13 +189,14 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
   if (run.fault != minic::FaultKind::kNone) {
     rec.outcome = classify_fault(run.fault);
     rec.detail = run.fault_message;
-  } else if (disk->damaged() ||
+  } else if (dev->damaged() ||
              run.return_value != prep.clean_fingerprint) {
-    // Boot completed but the system is visibly wrong: clobbered disk or
-    // a different world view (wrong partition/filesystem mounted).
+    // Boot completed but the system is visibly wrong: persistent device
+    // damage or a different world view (wrong fingerprint computed from
+    // what the driver read).
     rec.outcome = Outcome::kDamagedBoot;
-    rec.detail = disk->damaged() ? disk->damage_note()
-                                 : "wrong boot fingerprint";
+    rec.detail = dev->damaged() ? dev->damage_note()
+                                : "wrong boot fingerprint";
   } else {
     clean = true;
     rec.outcome = classify_clean(prep, site, run.executed, *macro_uses);
@@ -209,9 +210,9 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
       snap->macro_use_lines = std::move(*macro_uses);
     }
   }
-  // Drop the bus mapping before recycling the disk.
+  // Drop the bus mapping before recycling the device.
   bus = hw::IoBus();
-  prep.disk_pool.release(std::move(disk));
+  prep.device_pool.release(std::move(dev));
   return rec;
 }
 
@@ -283,9 +284,28 @@ std::string canonical_key(const PreparedCampaign& prep,
 
 }  // namespace
 
-DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
+DriverCampaignResult run_driver_campaign(const DriverCampaignConfig& config) {
+  // Diagnostics name the configured device and entry so a failing campaign
+  // of one device is never mistaken for another's.
+  const std::string who = "driver campaign [" +
+                          (config.device.device.empty() ? std::string("?")
+                                                        : config.device.device) +
+                          "]: ";
+  if (!config.device.ok()) {
+    throw std::logic_error(who +
+                           "no device binding configured (set "
+                           "DriverCampaignConfig::device; the standard "
+                           "bindings live in eval/device_bindings.h)");
+  }
   PreparedCampaign prep;
   prep.config = &config;
+  prep.entry = config.entry.empty() ? config.device.entry : config.entry;
+  if (prep.entry.empty()) {
+    throw std::logic_error(who + "no boot entry configured (neither the "
+                           "config nor the device binding names one)");
+  }
+  prep.device_pool.set_factory(config.device.make_device);
+  const std::string at_entry = " (entry " + prep.entry + ")";
 
   // Lex the invariant stub prefix once; every mutant re-lexes only the
   // driver tail. Mutants never touch the stubs (sites are scanned in the
@@ -294,7 +314,7 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
       config.stubs.empty() ? std::string() : config.stubs + "\n";
   prep.prefix = minic::prepare_prefix(config.unit_name, prefix_text);
   if (!prep.prefix.ok()) {
-    throw std::logic_error("driver stubs do not lex:\n" +
+    throw std::logic_error(who + "driver stubs do not lex:\n" +
                            prep.prefix.diags.render());
   }
 
@@ -302,30 +322,33 @@ DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
   minic::Program clean = minic::compile_with_prefix(prep.prefix,
                                                     config.driver);
   if (!clean.ok()) {
-    throw std::logic_error("unmutated driver does not compile:\n" +
+    throw std::logic_error(who + "unmutated driver does not compile:\n" +
                            clean.diags.render());
   }
   DriverCampaignResult result;
+  result.device = config.device.device;
+  result.entry = prep.entry;
   {
     hw::IoBus bus;
-    auto disk = prep.disk_pool.acquire();
-    bus.map(0x1f0, 8, disk);
-    auto run = minic::run_unit(*clean.unit, bus, config.entry,
+    auto dev = prep.device_pool.acquire();
+    bus.map(config.device.port_base, config.device.port_span, dev);
+    auto run = minic::run_unit(*clean.unit, bus, prep.entry,
                                config.step_budget, config.engine);
     if (run.fault != minic::FaultKind::kNone) {
-      throw std::logic_error("unmutated driver faults at boot: " +
-                             run.fault_message);
+      throw std::logic_error(who + "unmutated driver faults at boot" +
+                             at_entry + ": " + run.fault_message);
     }
     if (run.return_value <= 0) {
-      throw std::logic_error("unmutated driver returned a non-positive boot "
-                             "fingerprint");
+      throw std::logic_error(who + "unmutated driver returned a non-positive "
+                             "boot fingerprint" + at_entry);
     }
-    if (disk->damaged()) {
-      throw std::logic_error("unmutated driver damaged the disk");
+    if (dev->damaged()) {
+      throw std::logic_error(who + "unmutated driver damaged the device: " +
+                             dev->damage_note());
     }
     result.clean_fingerprint = run.return_value;
     bus = hw::IoBus();
-    prep.disk_pool.release(std::move(disk));
+    prep.device_pool.release(std::move(dev));
   }
   prep.clean_fingerprint = result.clean_fingerprint;
 

@@ -1,5 +1,11 @@
 // Tables 3/4 campaign: mutate a driver, compile each mutant, boot the
-// survivors against the simulated IDE disk, classify the outcome.
+// survivors against a simulated device model, classify the outcome.
+//
+// The kernel is device-agnostic: everything device-specific — which model
+// to construct, where it sits on the port bus, which entry point boots the
+// driver — comes in through `DeviceBinding`. The standard bindings (and the
+// historical IDE-named compat wrapper) live in eval/device_bindings.h, the
+// only campaign file that names concrete devices.
 #pragma once
 
 #include <cstdint>
@@ -8,10 +14,33 @@
 #include <vector>
 
 #include "eval/outcome.h"
+#include "hw/device_pool.h"
 #include "minic/program.h"
 #include "mutation/site.h"
 
 namespace eval {
+
+/// Binds a campaign to one device model: the port window the device claims
+/// on the simulated bus, how to construct it, and the boot entry point its
+/// drivers implement. Devices are recycled between mutant boots through a
+/// reset-based `hw::DevicePool`, so `make_device` must return power-on-state
+/// instances and the model's `reset()` must restore that state (cheaply —
+/// the hw models keep a dirty bit so clean recycles are a register wipe).
+struct DeviceBinding {
+  /// Short device name used in diagnostics and reports ("ide", "busmouse").
+  std::string device;
+  /// I/O window mapped as [port_base, port_base + port_span).
+  uint32_t port_base = 0;
+  uint32_t port_span = 0;
+  /// Default boot entry point for this device's drivers; used when
+  /// DriverCampaignConfig::entry is empty.
+  std::string entry;
+  /// Constructs a power-on-state device. Must be thread-safe: the pool
+  /// invokes it concurrently from campaign workers.
+  hw::DevicePool::Factory make_device;
+
+  [[nodiscard]] bool ok() const { return make_device != nullptr; }
+};
 
 struct DriverCampaignConfig {
   /// Generated Devil stubs, prepended to the driver. Empty for the plain C
@@ -20,7 +49,11 @@ struct DriverCampaignConfig {
   /// The driver translation unit that gets mutated (contains MUT markers).
   std::string driver;
   std::string unit_name = "driver.c";
-  std::string entry = "ide_boot";
+  /// Boot entry point; empty derives the binding's default entry.
+  std::string entry;
+  /// The device under test. Must be populated (see eval/device_bindings.h
+  /// for the standard bindings); run_driver_campaign throws otherwise.
+  DeviceBinding device;
   /// True when identifier classes should be derived from the Devil stubs.
   bool is_cdevil = false;
 
@@ -62,6 +95,10 @@ struct MutantRecord {
 };
 
 struct DriverCampaignResult {
+  /// Device name and entry the campaign ran against (from the binding /
+  /// config), echoed so reports can label tables per device.
+  std::string device;
+  std::string entry;
   size_t total_sites = 0;
   size_t total_mutants = 0;    // before sampling
   size_t sampled_mutants = 0;
@@ -74,10 +111,11 @@ struct DriverCampaignResult {
   std::vector<MutantRecord> records;  // one per sampled mutant
 };
 
-/// Runs the campaign. Preconditions (std::logic_error otherwise): the
-/// unmutated unit compiles, boots without fault, and returns a positive
-/// fingerprint.
-[[nodiscard]] DriverCampaignResult run_ide_campaign(
+/// Runs the campaign against the configured device binding. Preconditions
+/// (std::logic_error naming the device and entry otherwise): the binding is
+/// populated, and the unmutated unit compiles, boots without fault or
+/// device damage, and returns a positive fingerprint.
+[[nodiscard]] DriverCampaignResult run_driver_campaign(
     const DriverCampaignConfig& config);
 
 /// Classifies one already-compiled-or-failed mutant run; exposed for tests.

@@ -50,7 +50,10 @@ std::string render_driver_table(const std::string& title,
              std::to_string(r.sampled_mutants), "N/A"});
   os << t.render();
   os << "(" << r.total_mutants << " mutants generated, " << r.sampled_mutants
-     << " sampled for testing)\n";
+     << " sampled for testing";
+  if (!r.device.empty()) os << ", device " << r.device;
+  if (!r.entry.empty()) os << ", entry " << r.entry;
+  os << ")\n";
   return os.str();
 }
 
@@ -70,6 +73,13 @@ std::string render_comparison(const DriverCampaignResult& c_result,
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
+  if (!c_result.device.empty() || !d_result.device.empty()) {
+    os << "Device under test: " << c_result.device;
+    if (d_result.device != c_result.device) {
+      os << " (C) vs " << d_result.device << " (CDevil)";
+    }
+    os << "\n";
+  }
   os << "Detected at compile time or run time:\n";
   os << "  original C driver : " << c_detected << " %\n";
   os << "  Devil (CDevil)    : " << d_detected << " %";
@@ -84,6 +94,24 @@ std::string render_comparison(const DriverCampaignResult& c_result,
     os << "   (" << (c_boot / d_boot) << "x fewer undetected errors)";
   }
   os << "\n";
+  return os.str();
+}
+
+std::string render_campaign_tables(const DriverCampaignResult& c_result,
+                                   const DriverCampaignResult& d_result) {
+  // Each table is tagged with its own result's device, so a mismatched
+  // pair (wiring mistake, or a deliberate cross-device comparison) is
+  // visible instead of silently labelled after the first result.
+  auto tag = [](const DriverCampaignResult& r) {
+    return r.device.empty() ? std::string() : " (" + r.device + ")";
+  };
+  std::ostringstream os;
+  os << render_driver_table("Table 3: original C driver" + tag(c_result),
+                            c_result)
+     << "\n"
+     << render_driver_table("Table 4: CDevil driver" + tag(d_result),
+                            d_result)
+     << "\n" << render_comparison(c_result, d_result);
   return os.str();
 }
 

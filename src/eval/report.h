@@ -14,13 +14,23 @@ namespace eval {
     const std::vector<SpecCampaignRow>& rows);
 
 /// Tables 3/4: "Mutations on C / CDevil code". Rows follow the paper: a
-/// compile-time line, then the boot behaviours, then totals.
+/// compile-time line, then the boot behaviours, then totals. The footer
+/// names the device binding the campaign ran against when the result
+/// carries one.
 [[nodiscard]] std::string render_driver_table(
     const std::string& title, const DriverCampaignResult& result);
 
 /// Headline comparison of the two campaigns (the paper's §4.2 narrative:
-/// detected fraction, worst-case "Boot" fraction, ratios).
+/// detected fraction, worst-case "Boot" fraction, ratios). Labels the
+/// device when the results carry one.
 [[nodiscard]] std::string render_comparison(
+    const DriverCampaignResult& c_result,
+    const DriverCampaignResult& cdevil_result);
+
+/// One device's full evaluation: Table 3 (original C driver), Table 4
+/// (CDevil driver) and the comparison, titled per device so multi-device
+/// reports read unambiguously.
+[[nodiscard]] std::string render_campaign_tables(
     const DriverCampaignResult& c_result,
     const DriverCampaignResult& cdevil_result);
 

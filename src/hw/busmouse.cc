@@ -3,6 +3,11 @@
 namespace hw {
 
 void Busmouse::reset() {
+  // Same dirty-tracking fast path as IdeDisk::reset(): a device the
+  // previous boot never touched is already in power-on state, so the
+  // common clean-recycle through a DevicePool costs one branch. Any read
+  // rotates garbage_, so reads dirty the device too.
+  if (!touched_) return;
   dx_ = dy_ = 0;
   buttons_ = 0;
   index_ = 0;
@@ -11,9 +16,11 @@ void Busmouse::reset() {
   signature_ = 0xa5;
   garbage_ = 0x50;
   protocol_violations_ = 0;
+  touched_ = false;
 }
 
 void Busmouse::set_motion(int8_t dx, int8_t dy, uint8_t buttons) {
+  touched_ = true;
   dx_ = dx;
   dy_ = dy;
   buttons_ = buttons;
@@ -21,6 +28,7 @@ void Busmouse::set_motion(int8_t dx, int8_t dy, uint8_t buttons) {
 
 uint32_t Busmouse::read(uint32_t offset, int width) {
   (void)width;
+  touched_ = true;
   switch (offset) {
     case 0: {  // DATA
       uint8_t ux = static_cast<uint8_t>(dx_);
@@ -57,6 +65,7 @@ uint32_t Busmouse::read(uint32_t offset, int width) {
 
 void Busmouse::write(uint32_t offset, uint32_t value, int width) {
   (void)width;
+  touched_ = true;
   uint8_t v = static_cast<uint8_t>(value);
   switch (offset) {
     case 0:

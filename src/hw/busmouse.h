@@ -34,9 +34,13 @@ class Busmouse final : public Device {
   [[nodiscard]] uint8_t index() const { return index_; }
   [[nodiscard]] bool irq_disabled() const { return irq_disabled_; }
   [[nodiscard]] uint8_t config() const { return config_; }
+  [[nodiscard]] uint8_t signature() const { return signature_; }
   [[nodiscard]] uint64_t protocol_violations() const {
     return protocol_violations_;
   }
+  /// True once any access (or set_motion) may have moved the device off its
+  /// power-on state — the dirty bit behind reset()'s fast path.
+  [[nodiscard]] bool touched() const { return touched_; }
 
  private:
   int8_t dx_ = 0;
@@ -48,6 +52,7 @@ class Busmouse final : public Device {
   uint8_t signature_ = 0xa5;
   uint8_t garbage_ = 0x50;  // rotated into irrelevant bits
   uint64_t protocol_violations_ = 0;
+  bool touched_ = false;
 };
 
 }  // namespace hw

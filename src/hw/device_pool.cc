@@ -1,0 +1,61 @@
+#include "hw/device_pool.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hw {
+
+DevicePool::DevicePool(Factory factory) : factory_(std::move(factory)) {}
+
+void DevicePool::set_factory(Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factory_ = std::move(factory);
+  // Devices built by a previous factory must not leak into the new type.
+  free_.clear();
+}
+
+std::shared_ptr<Device> DevicePool::acquire() {
+  std::shared_ptr<Device> dev;
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      dev = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      factory = factory_;
+    }
+  }
+  if (dev) {
+    // reset() runs outside the lock: the device is exclusively ours (the
+    // release-side use_count guard keeps shared devices out of the pool),
+    // and the lock hand-off orders the previous boot's writes before it.
+    dev->reset();
+    return dev;
+  }
+  if (!factory) {
+    throw std::logic_error("DevicePool: no device factory configured");
+  }
+  // The factory also runs unlocked; it must be thread-safe.
+  return factory();
+}
+
+void DevicePool::release(std::shared_ptr<Device> dev) {
+  if (!dev) return;
+  // A device someone else still references (e.g. an IoBus mapping that was
+  // not dropped first) must not re-enter the pool: a later acquire() would
+  // hand the same device to a concurrent boot. Fail loud in debug builds
+  // and simply let the device die (never reuse it) otherwise.
+  assert(dev.use_count() == 1 && "release() while the device is still mapped");
+  if (dev.use_count() != 1) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(dev));
+}
+
+size_t DevicePool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace hw

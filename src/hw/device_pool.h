@@ -1,0 +1,62 @@
+// Reset-based pool of behavioural device models for the mutation campaigns.
+//
+// A campaign boots thousands of short-lived mutants against the same device
+// type; constructing a fresh model per boot (for the IDE disk: ~1MB image +
+// pristine copy plus an MBR rebuild) dominates the cost of the boot itself.
+// The pool hands out `reset()` devices instead — every device model keeps
+// `reset` cheap via dirty tracking (`IdeDisk` restores its image only after
+// a write, `Busmouse` wipes registers only after it was touched), so the
+// common clean-boot recycle costs a register wipe.
+//
+// Thread-safety contract (enforced by tests/test_device_pool.cc):
+//  - acquire/release may be called concurrently from campaign workers; the
+//    mutex around the free list gives the release-side writes happens-before
+//    the next acquirer's reset;
+//  - the factory is invoked outside the lock and must itself be thread-safe
+//    (a plain `std::make_shared<Model>()` is);
+//  - a device is handed to exactly one holder at a time: release() refuses
+//    (asserts in debug builds, drops the device otherwise) when the caller
+//    still shares ownership, e.g. an IoBus mapping that was not unmapped.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hw/io_bus.h"
+
+namespace hw {
+
+class DevicePool {
+ public:
+  /// Constructs one power-on-state device. Called without the pool lock
+  /// held, possibly from several workers at once.
+  using Factory = std::function<std::shared_ptr<Device>()>;
+
+  DevicePool() = default;
+  explicit DevicePool(Factory factory);
+
+  /// Replaces the factory; must happen before the first acquire (campaign
+  /// setup), never concurrently with acquire/release.
+  void set_factory(Factory factory);
+
+  /// Returns a power-on-state device (recycled via reset() when available).
+  /// Throws std::logic_error when no factory is configured.
+  [[nodiscard]] std::shared_ptr<Device> acquire();
+
+  /// Returns a device to the pool. The caller must have dropped every other
+  /// reference (the IoBus mapping) first; a still-shared device never
+  /// re-enters the pool.
+  void release(std::shared_ptr<Device> dev);
+
+  [[nodiscard]] size_t idle() const;
+
+ private:
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Device>> free_;
+};
+
+}  // namespace hw

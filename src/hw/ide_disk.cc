@@ -1,6 +1,5 @@
 #include "hw/ide_disk.h"
 
-#include <cassert>
 #include <cstring>
 
 namespace hw {
@@ -92,29 +91,15 @@ void IdeDisk::reset() {
   sectors_read_ = 0;
 }
 
+IdeDiskPool::IdeDiskPool()
+    : pool_([] { return std::make_shared<IdeDisk>(); }) {}
+
 std::shared_ptr<IdeDisk> IdeDiskPool::acquire() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!free_.empty()) {
-      std::shared_ptr<IdeDisk> disk = std::move(free_.back());
-      free_.pop_back();
-      disk->reset();
-      return disk;
-    }
-  }
-  return std::make_shared<IdeDisk>();
+  return std::static_pointer_cast<IdeDisk>(pool_.acquire());
 }
 
 void IdeDiskPool::release(std::shared_ptr<IdeDisk> disk) {
-  if (!disk) return;
-  // A disk someone else still references (e.g. an IoBus mapping that was
-  // not dropped first) must not re-enter the pool: a later acquire() would
-  // hand the same device to a concurrent boot. Fail loud in debug builds
-  // and simply let the disk die (never reuse it) otherwise.
-  assert(disk.use_count() == 1 && "release() while the disk is still mapped");
-  if (disk.use_count() != 1) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  free_.push_back(std::move(disk));
+  pool_.release(std::move(disk));
 }
 
 std::string IdeDisk::damage_note() const {

@@ -21,10 +21,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "hw/device_pool.h"
 #include "hw/io_bus.h"
 
 namespace hw {
@@ -118,32 +118,29 @@ class IdeDisk final : public Device {
   uint32_t sectors_read_ = 0;
 };
 
-/// Reset-based pool of IdeDisk instances for the mutation campaigns.
-///
-/// A per-mutant IdeDisk construction allocates ~1MB (image + pristine copy)
-/// and rebuilds the MBR; at campaign rates that dominates the syscall cost
-/// of short-lived boots. The pool hands out reset() disks instead —
-/// `reset` only restores the image when the previous boot actually wrote
-/// to it, so the common clean-boot recycle is a register wipe.
+/// Typed convenience wrapper over the generic `hw::DevicePool` for tests
+/// and tools that want `IdeDisk` handles back. A per-mutant IdeDisk
+/// construction allocates ~1MB (image + pristine copy) and rebuilds the
+/// MBR; the pool hands out reset() disks instead — `reset` only restores
+/// the image when the previous boot actually wrote to it, so the common
+/// clean-boot recycle is a register wipe.
 ///
 /// Thread-safe: acquire/release may be called concurrently from campaign
-/// workers.
+/// workers (see DevicePool's contract).
 class IdeDiskPool {
  public:
+  IdeDiskPool();
+
   /// Returns a power-on-state disk (recycled when available).
   [[nodiscard]] std::shared_ptr<IdeDisk> acquire();
   /// Returns a disk to the pool. The caller must have dropped every other
   /// reference (the IoBus mapping) first.
   void release(std::shared_ptr<IdeDisk> disk);
 
-  [[nodiscard]] size_t idle() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return free_.size();
-  }
+  [[nodiscard]] size_t idle() const { return pool_.idle(); }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<IdeDisk>> free_;
+  DevicePool pool_;
 };
 
 }  // namespace hw

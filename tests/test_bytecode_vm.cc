@@ -14,6 +14,7 @@
 #include "corpus/smoke_drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/report.h"
 #include "hw/ide_disk.h"

@@ -7,6 +7,7 @@
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/spec_campaign.h"
 #include "minic/program.h"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "hw/busmouse.h"
 #include "hw/ide_disk.h"
@@ -299,6 +300,64 @@ TEST(Busmouse, WritesToDataPortAreViolations) {
   hw::Busmouse m;
   m.write(0, 1, 8);
   EXPECT_EQ(m.protocol_violations(), 1u);
+}
+
+namespace {
+/// Drives the full observable surface of a busmouse: the C driver's init +
+/// read-state sequence, protocol abuse, and every inspection getter. Two
+/// devices in the same state produce the same trace (the garbage rotation
+/// is part of the state, so stale garbage shows up here).
+std::vector<uint64_t> busmouse_trace(hw::Busmouse& m) {
+  std::vector<uint64_t> out;
+  m.write(3, 0x91, 8);  // MSE_CONFIG_BYTE
+  m.write(2, 0x10, 8);  // interrupt disable
+  out.push_back(m.read(1, 8));
+  for (uint32_t idx = 0; idx < 4; ++idx) {
+    m.write(2, 0x80 | (idx << 5), 8);
+    out.push_back(m.read(0, 8));
+  }
+  out.push_back(m.read(2, 8));  // write-only register: violation
+  m.write(0, 0xaa, 8);          // read-only register: violation
+  out.push_back(m.protocol_violations());
+  out.push_back(m.index());
+  out.push_back(m.config());
+  out.push_back(m.signature());
+  out.push_back(m.irq_disabled() ? 1 : 0);
+  return out;
+}
+}  // namespace
+
+TEST(Busmouse, RecycledAfterFaultingBootIsBitIdenticalToFresh) {
+  // The campaign pool recycles devices between mutant boots via reset();
+  // a boot that faulted mid-protocol leaves arbitrary state behind, and
+  // the recycle must erase every trace of it.
+  hw::Busmouse recycled;
+  recycled.set_motion(-5, 9, 0x03);
+  (void)busmouse_trace(recycled);  // a partial, protocol-abusing boot
+  recycled.write(1, 0x77, 8);      // clobber the signature byte
+  recycled.write(2, 0x00, 8);      // re-enable interrupts
+  ASSERT_TRUE(recycled.touched());
+  recycled.reset();
+  EXPECT_FALSE(recycled.touched());
+
+  hw::Busmouse fresh;
+  EXPECT_EQ(busmouse_trace(recycled), busmouse_trace(fresh));
+}
+
+TEST(Busmouse, CleanRecycleTakesTheDirtyTrackingFastPath) {
+  // Parity with IdeDisk::reset(): an untouched device is already in
+  // power-on state, so reset() is a no-op branch, and even reads dirty
+  // the device (they rotate the garbage bits).
+  hw::Busmouse m;
+  EXPECT_FALSE(m.touched());
+  m.reset();
+  EXPECT_FALSE(m.touched());
+  (void)m.read(0, 8);
+  EXPECT_TRUE(m.touched());
+  m.reset();
+  EXPECT_FALSE(m.touched());
+  hw::Busmouse fresh;
+  EXPECT_EQ(busmouse_trace(m), busmouse_trace(fresh));
 }
 
 // ---- shallow models ---------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "corpus/smoke_drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/spec_campaign.h"
 #include "hw/ide_disk.h"
