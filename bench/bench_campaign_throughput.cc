@@ -11,6 +11,7 @@
 #include "devil/compiler.h"
 #include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
+#include "eval/shard.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/bytecode/bytecode.h"
@@ -338,6 +339,54 @@ void BM_CampaignBusmouseCDevil(benchmark::State& state) {
 BENCHMARK(BM_CampaignBusmouseCDevil)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// E13 — Sharding overhead. One shard of three of the busmouse C campaign
+// (prep + slice run + artifact packaging) against a third of the unsharded
+// campaign, plus the pure serialize/parse round-trip cost of the artifact.
+// Sharding pays the campaign prep (baseline boot, site scan, sampling) per
+// process; the counter shows what that costs at this corpus size.
+// ---------------------------------------------------------------------------
+
+void BM_CampaignShardBusmouseC(benchmark::State& state) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_busmouse_driver();
+  cfg.device = eval::busmouse_binding();
+  cfg.sample_percent = 100;
+  cfg.threads = 1;
+  size_t records = 0;
+  for (auto _ : state) {
+    auto artifact =
+        eval::run_campaign_shard(cfg, "C", eval::ShardSpec{1, 3});
+    records = artifact.records.size();
+    benchmark::DoNotOptimize(artifact.tally.total_mutants);
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(records * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignShardBusmouseC)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ShardArtifactRoundTrip(benchmark::State& state) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_busmouse_driver();
+  cfg.device = eval::busmouse_binding();
+  cfg.sample_percent = 100;
+  cfg.threads = 1;
+  eval::ShardBundle bundle;
+  bundle.shard = eval::ShardSpec{1, 3};
+  bundle.campaigns.push_back(
+      eval::run_campaign_shard(cfg, "C", bundle.shard));
+  for (auto _ : state) {
+    std::string text = eval::serialize_shard_bundle(bundle);
+    auto parsed = eval::parse_shard_bundle(text);
+    benchmark::DoNotOptimize(parsed.campaigns.size());
+  }
+}
+BENCHMARK(BM_ShardArtifactRoundTrip)->Unit(benchmark::kMillisecond);
 
 void BM_CampaignParallelCDevil(benchmark::State& state) {
   auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf gate: compare campaign-throughput benchmarks against a baseline.
+
+Reads two google-benchmark JSON files and compares every benchmark that
+reports a `mutants_per_s` counter (the campaign-throughput rows — step-rate
+and compile micro-benches are excluded, they are tracked but not gated).
+
+Policy (the CI perf gate):
+  - a regression worse than --tolerance (default 25%) emits a GitHub
+    `::warning::` annotation — visible on the PR, but not failing, because
+    the committed baseline was recorded on different hardware;
+  - a regression worse than 2x emits `::error::` and exits non-zero — that
+    magnitude means a real algorithmic slip, not runner noise;
+  - a campaign bench present in the baseline but missing from the fresh run
+    is an error too (a silently dropped bench would blind the gate).
+
+Usage: compare_bench.py --baseline BENCH_campaign.json --fresh fresh.json
+                        [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+HARD_FAIL_RATIO = 0.5  # fresh must hold at least half the baseline rate
+
+
+def campaign_rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if "mutants_per_s" in bench:
+            rates[bench["name"]] = float(bench["mutants_per_s"])
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+
+    baseline = campaign_rates(args.baseline)
+    fresh = campaign_rates(args.fresh)
+    if not baseline:
+        print(f"::error::perf gate: no campaign benches (mutants_per_s) "
+              f"in baseline {args.baseline}")
+        return 1
+
+    failed = False
+    for name in sorted(baseline):
+        base_rate = baseline[name]
+        if name not in fresh:
+            print(f"::error::perf gate: campaign bench '{name}' is in the "
+                  f"baseline but missing from the fresh run")
+            failed = True
+            continue
+        ratio = fresh[name] / base_rate if base_rate > 0 else float("inf")
+        line = (f"{name}: {fresh[name]:,.0f} mutants/s vs baseline "
+                f"{base_rate:,.0f} ({ratio:.2f}x)")
+        if ratio < HARD_FAIL_RATIO:
+            print(f"::error::perf gate: {line} — worse than 2x regression")
+            failed = True
+        elif ratio < 1.0 - args.tolerance:
+            print(f"::warning::perf gate: {line} — exceeds "
+                  f"{args.tolerance:.0%} tolerance (warn-only)")
+        else:
+            print(f"perf gate: {line}")
+
+    new = sorted(set(fresh) - set(baseline))
+    if new:
+        print(f"perf gate: new campaign benches not yet in the baseline: "
+              f"{', '.join(new)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,19 @@
 # Runs the campaign-throughput benchmark and writes BENCH_campaign.json next
 # to the repo root, so the perf trajectory is tracked PR over PR.
 #
-# Usage: bench/run_bench.sh [build-dir]   (default: ./build)
+# Usage: bench/run_bench.sh [build-dir] [--check BASELINE.json]
+#                           [--tolerance T]
+#   (default build-dir: ./build)
+#
+#   --check BASELINE.json  perf-gate mode: write the fresh results to
+#                          <build-dir>/BENCH_fresh.json (the canonical
+#                          PR-over-PR record at the repo root is untouched)
+#                          and compare the campaign-throughput rows against
+#                          BASELINE via bench/compare_bench.py. Regressions
+#                          past the tolerance warn; past 2x they fail.
+#   --tolerance T          warn threshold for --check as a fraction
+#                          (default 0.25 = warn beyond a 25% regression).
+#
 #   BENCH_FILTER=<regex>  run only matching benchmarks while iterating,
 #                         e.g. BENCH_FILTER='BM_TailLower|BM_PrefixCompile'.
 #                         Filtered runs write to <build-dir>/BENCH_filtered.json
@@ -11,7 +23,38 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+
+build_dir=""
+check_file=""
+tolerance="0.25"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check)
+      [[ $# -ge 2 ]] || { echo "--check needs a baseline file" >&2; exit 2; }
+      check_file="$2"
+      shift 2
+      ;;
+    --tolerance)
+      [[ $# -ge 2 ]] || { echo "--tolerance needs a value" >&2; exit 2; }
+      tolerance="$2"
+      shift 2
+      ;;
+    --*)
+      echo "unknown flag '$1' (usage: run_bench.sh [build-dir]" \
+           "[--check BASELINE.json] [--tolerance T])" >&2
+      exit 2
+      ;;
+    *)
+      if [[ -n "$build_dir" ]]; then
+        echo "unexpected argument '$1'" >&2
+        exit 2
+      fi
+      build_dir="$1"
+      shift
+      ;;
+  esac
+done
+build_dir="${build_dir:-$repo_root/build}"
 
 if [[ ! -x "$build_dir/bench_campaign_throughput" ]]; then
   echo "building benchmarks in $build_dir ..." >&2
@@ -20,7 +63,15 @@ if [[ ! -x "$build_dir/bench_campaign_throughput" ]]; then
 fi
 
 out="$repo_root/BENCH_campaign.json"
-if [[ -n "${BENCH_FILTER:-}" ]]; then
+if [[ -n "$check_file" ]]; then
+  out="$build_dir/BENCH_fresh.json"
+  if [[ -n "${BENCH_FILTER:-}" ]]; then
+    # A filtered run would be missing baseline rows and always fail the
+    # gate; the check compares the full campaign suite.
+    echo "ignoring BENCH_FILTER in --check mode" >&2
+    BENCH_FILTER=""
+  fi
+elif [[ -n "${BENCH_FILTER:-}" ]]; then
   out="$build_dir/BENCH_filtered.json"
 fi
 "$build_dir/bench_campaign_throughput" \
@@ -28,3 +79,8 @@ fi
   ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
   --benchmark_format=json > "$out"
 echo "wrote $out" >&2
+
+if [[ -n "$check_file" ]]; then
+  python3 "$repo_root/bench/compare_bench.py" \
+    --baseline "$check_file" --fresh "$out" --tolerance "$tolerance"
+fi

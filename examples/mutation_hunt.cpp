@@ -9,18 +9,29 @@
 // the parallel engine (N worker threads, 0 = all cores) and prints the
 // comparison — the whole paper evaluation in seconds. `--device
 // {ide,busmouse,all}` picks the device under test (default: all).
+//
+// Campaigns also shard across processes: `--shard i/N --out FILE` runs the
+// i-th of N slices of every selected campaign and writes a mergeable JSON
+// artifact; `--merge FILE...` recombines one artifact per shard into output
+// byte-identical to the single-process campaign run (tables, tallies and
+// engine counters included). Mismatched configurations, duplicate or
+// missing shards and corrupt artifacts are rejected with diagnostics.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
 #include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
+#include "eval/merge.h"
 #include "eval/report.h"
+#include "eval/shard.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
@@ -69,6 +80,56 @@ std::string replace_once(std::string text, const std::string& from,
   return text;
 }
 
+/// The C and CDevil campaign configs for one corpus device. Shared by the
+/// single-process, shard and (by fingerprint) merge paths, so every mode
+/// runs the exact same campaign configuration.
+struct DeviceCampaignConfigs {
+  eval::DriverCampaignConfig c;
+  eval::DriverCampaignConfig cdevil;
+};
+
+bool make_device_configs(const corpus::CampaignDrivers& drivers,
+                         unsigned threads, DeviceCampaignConfigs* out) {
+  eval::DeviceBinding binding = eval::binding_for(drivers.device);
+
+  out->c = eval::DriverCampaignConfig{};
+  out->c.driver = drivers.c_driver();
+  out->c.device = binding;
+  out->c.sample_percent = drivers.sample_percent;
+  out->c.threads = threads;
+  out->c.engine = g_engine;
+
+  auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
+                                  devil::CodegenMode::kDebug);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s", spec.diags.render().c_str());
+    return false;
+  }
+  out->cdevil = eval::DriverCampaignConfig{};
+  out->cdevil.stubs = spec.stubs;
+  out->cdevil.driver = drivers.cdevil_driver();
+  out->cdevil.device = binding;
+  out->cdevil.is_cdevil = true;
+  out->cdevil.sample_percent = drivers.sample_percent;
+  out->cdevil.threads = threads;
+  out->cdevil.engine = g_engine;
+  return true;
+}
+
+/// One device's report section. Both the single-process campaign run and
+/// `--merge` print through here, so the two outputs are byte-comparable.
+void print_device_section(const std::string& device,
+                          const eval::DriverCampaignResult& c_res,
+                          const eval::DriverCampaignResult& d_res) {
+  std::printf("=== %s ===\n\n", device.c_str());
+  std::printf("%s\n", eval::render_campaign_tables(c_res, d_res).c_str());
+  std::printf("Engine counters [%s]: C dedup %zu/%zu, prefix-cache %zu; "
+              "CDevil dedup %zu/%zu, prefix-cache %zu\n",
+              device.c_str(), c_res.deduped_mutants, c_res.sampled_mutants,
+              c_res.prefix_cache_hits, d_res.deduped_mutants,
+              d_res.sampled_mutants, d_res.prefix_cache_hits);
+}
+
 /// Runs one device's full C vs CDevil driver campaigns on `threads`
 /// workers and prints the paper's Tables 3/4 plus the headline comparison.
 /// With `assert_counters` (the CI Release smoke) the exit code additionally
@@ -77,38 +138,12 @@ std::string replace_once(std::string text, const std::string& from,
 /// every unique compile.
 bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
                           unsigned threads, bool assert_counters) {
-  eval::DeviceBinding binding = eval::binding_for(drivers.device);
+  DeviceCampaignConfigs cfgs;
+  if (!make_device_configs(drivers, threads, &cfgs)) return false;
+  auto c_res = eval::run_driver_campaign(cfgs.c);
+  auto d_res = eval::run_driver_campaign(cfgs.cdevil);
 
-  eval::DriverCampaignConfig c_cfg;
-  c_cfg.driver = drivers.c_driver();
-  c_cfg.device = binding;
-  c_cfg.sample_percent = drivers.sample_percent;
-  c_cfg.threads = threads;
-  c_cfg.engine = g_engine;
-  auto c_res = eval::run_driver_campaign(c_cfg);
-
-  auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
-                                  devil::CodegenMode::kDebug);
-  if (!spec.ok()) {
-    std::fprintf(stderr, "%s", spec.diags.render().c_str());
-    return false;
-  }
-  eval::DriverCampaignConfig d_cfg;
-  d_cfg.stubs = spec.stubs;
-  d_cfg.driver = drivers.cdevil_driver();
-  d_cfg.device = binding;
-  d_cfg.is_cdevil = true;
-  d_cfg.sample_percent = drivers.sample_percent;
-  d_cfg.threads = threads;
-  d_cfg.engine = g_engine;
-  auto d_res = eval::run_driver_campaign(d_cfg);
-
-  std::printf("%s\n", eval::render_campaign_tables(c_res, d_res).c_str());
-  std::printf("Engine counters [%s]: C dedup %zu/%zu, prefix-cache %zu; "
-              "CDevil dedup %zu/%zu, prefix-cache %zu\n",
-              drivers.device, c_res.deduped_mutants, c_res.sampled_mutants,
-              c_res.prefix_cache_hits, d_res.deduped_mutants,
-              d_res.sampled_mutants, d_res.prefix_cache_hits);
+  print_device_section(drivers.device, c_res, d_res);
   if (!assert_counters) return true;
   // The walker engine compiles whole units by design, so cache hits are
   // only expected on the bytecode VM.
@@ -134,6 +169,23 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
   return check("C", c_res) & check("CDevil", d_res);
 }
 
+void print_unknown_device(const std::string& device_filter) {
+  std::fprintf(stderr, "unknown --device '%s' (known: all",
+               device_filter.c_str());
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    std::fprintf(stderr, ", %s", drivers.device);
+  }
+  std::fprintf(stderr, ")\n");
+}
+
+bool known_device(const std::string& device_filter) {
+  if (device_filter == "all") return true;
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    if (device_filter == drivers.device) return true;
+  }
+  return false;
+}
+
 /// Runs the campaigns for every corpus device matching `device_filter`
 /// ("all" runs each of them — the CI smoke path).
 int run_campaigns(unsigned threads, bool assert_counters,
@@ -143,21 +195,9 @@ int run_campaigns(unsigned threads, bool assert_counters,
               threads, minic::exec_engine_name(g_engine),
               device_filter.c_str());
   bool ok = true;
-  bool matched = false;
   for (const auto& drivers : corpus::campaign_drivers()) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
-    matched = true;
-    std::printf("=== %s ===\n\n", drivers.device);
     ok &= run_device_campaigns(drivers, threads, assert_counters);
-  }
-  if (!matched) {
-    std::fprintf(stderr, "unknown --device '%s' (known: all",
-                 device_filter.c_str());
-    for (const auto& drivers : corpus::campaign_drivers()) {
-      std::fprintf(stderr, ", %s", drivers.device);
-    }
-    std::fprintf(stderr, ")\n");
-    return 2;
   }
   if (assert_counters) {
     std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
@@ -165,58 +205,232 @@ int run_campaigns(unsigned threads, bool assert_counters,
   return ok ? 0 : 1;
 }
 
+/// `--shard i/N --out FILE`: runs slice i/N of every selected campaign and
+/// writes one mergeable bundle. Progress goes to stderr; stdout stays quiet
+/// so shard invocations compose in scripts.
+int run_shard(eval::ShardSpec spec, const std::string& out_path,
+              unsigned threads, const std::string& device_filter) {
+  eval::ShardBundle bundle;
+  bundle.shard = spec;
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    if (device_filter != "all" && device_filter != drivers.device) continue;
+    DeviceCampaignConfigs cfgs;
+    if (!make_device_configs(drivers, threads, &cfgs)) return 1;
+    bundle.campaigns.push_back(
+        eval::run_campaign_shard(cfgs.c, "C", spec));
+    bundle.campaigns.push_back(
+        eval::run_campaign_shard(cfgs.cdevil, "CDevil", spec));
+    const auto& c = bundle.campaigns[bundle.campaigns.size() - 2];
+    const auto& d = bundle.campaigns.back();
+    std::fprintf(stderr,
+                 "shard %s [%s]: C records %zu of %zu sampled, "
+                 "CDevil records %zu of %zu sampled\n",
+                 spec.to_string().c_str(), drivers.device, c.records.size(),
+                 c.sample_size, d.records.size(), d.sample_size);
+  }
+  eval::save_shard_bundle(out_path, bundle);
+  std::fprintf(stderr, "wrote shard %s artifact to %s\n",
+               spec.to_string().c_str(), out_path.c_str());
+  return 0;
+}
+
+/// `--merge FILE...`: loads one bundle per shard, recombines them and
+/// prints the same per-device sections as the single-process campaign run.
+int run_merge(const std::vector<std::string>& paths) {
+  std::vector<eval::ShardBundle> bundles;
+  bundles.reserve(paths.size());
+  for (const std::string& path : paths) {
+    bundles.push_back(eval::load_shard_bundle(path));
+  }
+  auto merged = eval::merge_shard_bundles(bundles);
+  // Standard bundles carry a C campaign followed by a CDevil campaign per
+  // device; print those as the paper's paired tables. Anything else (a
+  // hand-built bundle) still renders, one table per campaign.
+  size_t i = 0;
+  while (i < merged.size()) {
+    if (i + 1 < merged.size() && merged[i].device == merged[i + 1].device &&
+        merged[i].label == "C" && merged[i + 1].label == "CDevil") {
+      print_device_section(merged[i].device, merged[i].result,
+                           merged[i + 1].result);
+      i += 2;
+      continue;
+    }
+    std::printf("=== %s ===\n\n", merged[i].device.c_str());
+    std::printf("%s\n",
+                eval::render_driver_table("Campaign " + merged[i].label +
+                                              " (" + merged[i].device + ")",
+                                          merged[i].result)
+                    .c_str());
+    ++i;
+  }
+  return 0;
+}
+
+int usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: mutation_hunt [MODE] [OPTIONS]\n"
+      "\n"
+      "Modes (default: run the single-typo scenario):\n"
+      "  --threads N          run the Tables 3/4 campaigns on N workers\n"
+      "                       (0 = all cores)\n"
+      "  --shard I/N --out F  run slice I of N of every selected campaign\n"
+      "                       and write a mergeable shard artifact to F\n"
+      "  --merge FILE...      merge one artifact per shard and print the\n"
+      "                       single-process campaign report\n"
+      "\n"
+      "Options:\n"
+      "  --device NAME        campaign device (default: all)\n"
+      "  --list-devices       print the campaign device names, one per line\n"
+      "  --walker             use the tree-walker oracle engine\n"
+      "  --assert-counters    fail unless dedup + prefix cache engaged\n"
+      "  --help               this message\n");
+  return to == stdout ? 0 : 2;
+}
+
+[[nodiscard]] int flag_error(const std::string& message) {
+  std::fprintf(stderr, "mutation_hunt: %s\n\n", message.c_str());
+  return usage(stderr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --walker selects the tree-walker oracle instead of the bytecode VM;
-  // results are identical, only the wall-clock changes.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--walker") == 0) {
-      g_engine = minic::ExecEngine::kTreeWalker;
-    }
-  }
-  bool assert_counters = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--assert-counters") == 0) {
-      assert_counters = true;
-    }
-  }
-  // --device {ide,busmouse,all} picks which corpus device the campaigns
-  // mutate; default runs them all (Tables 3/4 per device). Passing it
-  // without --threads still runs the campaigns (on one worker), so a
-  // typoed device name can never exit 0 without campaigning.
+  unsigned threads = 1;
+  bool threads_given = false;
   std::string device = "all";
   bool device_given = false;
+  bool assert_counters = false;
+  std::string shard_spec_text;
+  std::string out_path;
+  std::vector<std::string> merge_paths;
+  bool merge_given = false;
+
+  // Strict flag parsing: an unrecognised flag is a hard error with a usage
+  // message, never silently ignored — a typoed `--theads 8` must not
+  // quietly run the default scenario and exit 0.
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
-      device = argv[i + 1];
-      device_given = true;
-    }
-  }
-  if (device != "all") {
-    bool known = false;
-    for (const auto& drivers : corpus::campaign_drivers()) {
-      known = known || device == drivers.device;
-    }
-    if (!known) {
-      std::fprintf(stderr, "unknown --device '%s' (known: all",
-                   device.c_str());
-      for (const auto& drivers : corpus::campaign_drivers()) {
-        std::fprintf(stderr, ", %s", drivers.device);
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
+    if (arg == "--walker") {
+      g_engine = minic::ExecEngine::kTreeWalker;
+    } else if (arg == "--assert-counters") {
+      assert_counters = true;
+    } else if (arg == "--threads") {
+      const char* v = value("--threads");
+      if (!v) return flag_error("--threads needs a value");
+      // Digits only: strtoul would silently wrap a leading '-' and clamp
+      // out-of-range values, defeating the strict parser. A worker count
+      // never needs more than 4 digits.
+      const std::string text = v;
+      const bool digits =
+          !text.empty() && text.size() <= 4 &&
+          text.find_first_not_of("0123456789") == std::string::npos;
+      if (!digits) {
+        return flag_error("--threads: '" + text +
+                          "' is not a thread count (0-9999; 0 = all cores)");
       }
-      std::fprintf(stderr, ")\n");
-      return 2;
+      threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      threads_given = true;
+    } else if (arg == "--device") {
+      const char* v = value("--device");
+      if (!v) return flag_error("--device needs a value");
+      device = v;
+      device_given = true;
+    } else if (arg == "--shard") {
+      const char* v = value("--shard");
+      if (!v) return flag_error("--shard needs a value (e.g. 1/3)");
+      shard_spec_text = v;
+    } else if (arg == "--out") {
+      const char* v = value("--out");
+      if (!v) return flag_error("--out needs a file path");
+      out_path = v;
+    } else if (arg == "--merge") {
+      merge_given = true;
+      // Everything after --merge is an artifact path; a flag-shaped arg
+      // here is almost certainly a misplaced option, not a file, and gets
+      // the strict-parser treatment (prefix genuine `--foo` files with ./).
+      while (i + 1 < argc) {
+        const std::string path = argv[++i];
+        if (path.rfind("--", 0) == 0) {
+          return flag_error("'" + path + "' after --merge: flags must come "
+                            "before --merge (artifact files only from here; "
+                            "prefix a file literally named like a flag "
+                            "with ./)");
+        }
+        merge_paths.push_back(path);
+      }
+    } else if (arg == "--list-devices") {
+      // One name per line, so CI scripts can iterate the corpus registry
+      // instead of hardcoding the device list.
+      for (const auto& drivers : corpus::campaign_drivers()) {
+        std::printf("%s\n", drivers.device);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else {
+      return flag_error("unknown flag '" + arg + "'");
     }
   }
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      return run_campaigns(
-          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)),
-          assert_counters, device);
+
+  if (merge_given) {
+    if (threads_given || device_given || assert_counters ||
+        !shard_spec_text.empty() || !out_path.empty() ||
+        g_engine != minic::ExecEngine::kBytecodeVm) {
+      return flag_error("--merge takes only artifact files (the merged "
+                        "report is determined by the artifacts themselves)");
+    }
+    if (merge_paths.empty()) {
+      return flag_error("--merge needs at least one artifact file");
+    }
+    try {
+      return run_merge(merge_paths);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+      return 1;
     }
   }
-  if (device_given || assert_counters) {
-    return run_campaigns(1, assert_counters, device);
+
+  if (!out_path.empty() && shard_spec_text.empty()) {
+    return flag_error("--out only makes sense with --shard I/N");
+  }
+  // A typoed device name exits 2 before any campaigning starts.
+  if (!known_device(device)) {
+    print_unknown_device(device);
+    return 2;
+  }
+
+  if (!shard_spec_text.empty()) {
+    if (out_path.empty()) {
+      return flag_error("--shard needs --out FILE for the artifact");
+    }
+    if (assert_counters) {
+      return flag_error("--assert-counters applies to full campaign runs, "
+                        "not shards (counters are shard-local; merge the "
+                        "artifacts instead)");
+    }
+    eval::ShardSpec spec;
+    try {
+      spec = eval::parse_shard_spec(shard_spec_text);
+    } catch (const std::invalid_argument& e) {
+      return flag_error(e.what());
+    }
+    try {
+      return run_shard(spec, out_path, threads, device);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (threads_given || device_given || assert_counters) {
+    return run_campaigns(threads_given ? threads : 1, assert_counters,
+                         device);
   }
 
   std::printf("Scenario: selecting the drive, the developer writes the\n"

@@ -285,12 +285,24 @@ std::string canonical_key(const PreparedCampaign& prep,
 }  // namespace
 
 DriverCampaignResult run_driver_campaign(const DriverCampaignConfig& config) {
+  return run_driver_campaign_slice(config, SampleSlice{});
+}
+
+DriverCampaignResult run_driver_campaign_slice(
+    const DriverCampaignConfig& config, SampleSlice slice,
+    CampaignSideband* sideband) {
   // Diagnostics name the configured device and entry so a failing campaign
   // of one device is never mistaken for another's.
   const std::string who = "driver campaign [" +
                           (config.device.device.empty() ? std::string("?")
                                                         : config.device.device) +
                           "]: ";
+  if (slice.count == 0 || slice.index >= slice.count) {
+    throw std::logic_error(who + "invalid sample slice " +
+                           std::to_string(slice.index) + "/" +
+                           std::to_string(slice.count) +
+                           " (need 0 <= index < count)");
+  }
   if (!config.device.ok()) {
     throw std::logic_error(who +
                            "no device binding configured (set "
@@ -363,9 +375,23 @@ DriverCampaignResult run_driver_campaign(const DriverCampaignConfig& config) {
   result.total_sites = prep.sites.size();
   result.total_mutants = prep.mutants.size();
 
-  auto selected = support::sample_indices(prep.mutants.size(),
-                                          config.sample_percent, config.seed);
+  // The full deterministic sample is derived in every slice; the slice then
+  // covers a contiguous subrange of it, so N slices together boot exactly
+  // the mutants the unsharded campaign would.
+  auto sample = support::sample_indices(prep.mutants.size(),
+                                        config.sample_percent, config.seed);
+  const auto [slice_lo, slice_hi] = sample_slice_bounds(sample.size(), slice);
+  std::vector<size_t> selected(sample.begin() + slice_lo,
+                               sample.begin() + slice_hi);
   result.sampled_mutants = selected.size();
+  if (sideband) {
+    sideband->sample_size = sample.size();
+    sideband->slice_begin = slice_lo;
+    sideband->slice_end = slice_hi;
+    // prefix_cache_hit is assigned wholesale after the boot phase.
+    sideband->canonical_hash.clear();
+    if (config.dedup) sideband->canonical_hash.resize(selected.size());
+  }
 
   // --- canonical dedup (phases 1-2) ----------------------------------------------
   // Keys are computed in parallel (per-index writes only); the first-seen
@@ -380,6 +406,7 @@ DriverCampaignResult run_driver_campaign(const DriverCampaignConfig& config) {
       spliced[i] = mutation::apply_mutant(config.driver, prep.sites,
                                           prep.mutants[selected[i]]);
       keys[i] = canonical_key(prep, spliced[i]);
+      if (sideband) sideband->canonical_hash[i] = support::fnv128(keys[i]);
     });
     std::unordered_map<std::string, size_t> first_seen;
     first_seen.reserve(selected.size());
@@ -413,6 +440,7 @@ DriverCampaignResult run_driver_campaign(const DriverCampaignConfig& config) {
         config.dedup ? std::move(spliced[i]) : std::string(), &cache_hits[i]);
   });
   for (uint8_t hit : cache_hits) result.prefix_cache_hits += hit;
+  if (sideband) sideband->prefix_cache_hit = cache_hits;
 
   // --- duplicate classification (phase 4, sequential) -----------------------------
   for (size_t i = 0; i < selected.size(); ++i) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/outcome.h"
@@ -111,12 +112,58 @@ struct DriverCampaignResult {
   std::vector<MutantRecord> records;  // one per sampled mutant
 };
 
+/// One contiguous slice of the sampled mutant sequence, in sample order:
+/// slice `index` of `count` covers sample positions
+/// [sample_slice_bounds(S, slice)) of the S sampled mutants. The default
+/// {0, 1} is the whole sample. Slicing never changes which mutants are
+/// sampled — every slice derives the full deterministic sample and takes
+/// its subrange, so N slices tile the unsharded campaign exactly.
+struct SampleSlice {
+  size_t index = 0;
+  size_t count = 1;
+};
+
+/// Floor partition of `sample_size` positions into `slice.count` contiguous
+/// ranges: [begin, end) for `slice.index`. Slices differ in size by at most
+/// one; when count > sample_size some slices are empty.
+[[nodiscard]] inline std::pair<size_t, size_t> sample_slice_bounds(
+    size_t sample_size, SampleSlice slice) {
+  return {sample_size * slice.index / slice.count,
+          sample_size * (slice.index + 1) / slice.count};
+}
+
+/// Per-record sideband a shard artifact (eval/shard.h) needs beyond the
+/// MutantRecords: which records compiled through the prefix cache, and the
+/// canonical dedup-key hash of each record so a merge can re-dedup across
+/// shards. Vectors are indexed like DriverCampaignResult::records;
+/// `canonical_hash` is empty when the config has dedup off.
+struct CampaignSideband {
+  size_t sample_size = 0;   // full sample size, before slicing
+  size_t slice_begin = 0;   // this run's slice, in sample positions
+  size_t slice_end = 0;
+  std::vector<uint8_t> prefix_cache_hit;
+  std::vector<std::pair<uint64_t, uint64_t>> canonical_hash;
+};
+
 /// Runs the campaign against the configured device binding. Preconditions
 /// (std::logic_error naming the device and entry otherwise): the binding is
 /// populated, and the unmutated unit compiles, boots without fault or
 /// device damage, and returns a positive fingerprint.
 [[nodiscard]] DriverCampaignResult run_driver_campaign(
     const DriverCampaignConfig& config);
+
+/// Sliced variant: the full campaign prepared identically (baseline boot,
+/// site scan, deterministic sample), but only the mutants in `slice` are
+/// deduped, compiled and booted. Dedup is slice-local: canonical duplicates
+/// are only detected within the slice, so `deduped_mutants`,
+/// `prefix_cache_hits`, the records' `deduped` flags and the tally are
+/// slice-local too (eval/merge.h re-dedups across slices so a merged run
+/// is byte-identical to the unsharded one). `sampled_mutants` is the slice
+/// record count; the sideband (optional) reports the global sample size.
+/// The {0, 1} slice is exactly run_driver_campaign.
+[[nodiscard]] DriverCampaignResult run_driver_campaign_slice(
+    const DriverCampaignConfig& config, SampleSlice slice,
+    CampaignSideband* sideband = nullptr);
 
 /// Classifies one already-compiled-or-failed mutant run; exposed for tests.
 [[nodiscard]] const char* outcome_short(Outcome o);

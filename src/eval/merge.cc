@@ -1,0 +1,231 @@
+#include "eval/merge.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace eval {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("shard merge: " + message);
+}
+
+std::string campaign_name(const ShardArtifact& a) {
+  return a.device + "/" + a.label;
+}
+
+/// Checks that `indices` (ascending) is exactly 1..count; `suffix` extends
+/// the duplicate/missing diagnostics ("", or " in campaign ide/C").
+void check_index_coverage(const std::vector<unsigned>& indices, unsigned count,
+                          const std::string& suffix) {
+  unsigned expected = 1;
+  for (unsigned index : indices) {
+    if (index == expected) {
+      ++expected;
+      continue;
+    }
+    if (index < expected) {
+      fail("duplicate shard " + std::to_string(index) + "/" +
+           std::to_string(count) + suffix);
+    }
+    fail("missing shard " + std::to_string(expected) + "/" +
+         std::to_string(count) + suffix);
+  }
+  if (expected != count + 1) {
+    fail("missing shard " + std::to_string(expected) + "/" +
+         std::to_string(count) + suffix);
+  }
+}
+
+/// Checks that the artifacts' shard indices are exactly a permutation of
+/// 1..count and returns them sorted by shard index.
+std::vector<std::pair<unsigned, const ShardArtifact*>> sort_and_check_indices(
+    std::vector<std::pair<unsigned, const ShardArtifact*>> shards,
+    unsigned count, const std::string& what) {
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<unsigned> indices;
+  indices.reserve(shards.size());
+  for (const auto& [index, artifact] : shards) {
+    (void)artifact;
+    indices.push_back(index);
+  }
+  check_index_coverage(indices, count, " in " + what);
+  return shards;
+}
+
+struct Key128 {
+  uint64_t hi, lo;
+  bool operator==(const Key128& o) const { return hi == o.hi && lo == o.lo; }
+};
+struct Key128Hash {
+  size_t operator()(const Key128& k) const {
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace
+
+DriverCampaignResult merge_shard_artifacts(
+    const std::vector<std::pair<unsigned, const ShardArtifact*>>& shards) {
+  if (shards.empty()) fail("no shard artifacts to merge");
+
+  const ShardArtifact& first = *shards.front().second;
+  const std::string name = campaign_name(first);
+  const unsigned count = static_cast<unsigned>(shards.size());
+
+  // Every artifact must come from the same campaign configuration: the
+  // fingerprint pins driver text, device binding, seed, engine and flags.
+  for (const auto& [index, artifact] : shards) {
+    if (artifact->fingerprint != first.fingerprint) {
+      fail("config fingerprint mismatch for campaign " + name + ": shard " +
+           std::to_string(index) + " ran " + artifact->fingerprint +
+           ", shard " + std::to_string(shards.front().first) + " ran " +
+           first.fingerprint + " — these artifacts are from different "
+           "campaign configurations and cannot be merged");
+    }
+    // Belt and braces for hand-edited artifacts: the fields the merge
+    // copies forward must agree even if the fingerprints were doctored.
+    if (artifact->device != first.device || artifact->label != first.label ||
+        artifact->entry != first.entry || artifact->dedup != first.dedup ||
+        artifact->sample_size != first.sample_size ||
+        artifact->total_sites != first.total_sites ||
+        artifact->total_mutants != first.total_mutants ||
+        artifact->clean_fingerprint != first.clean_fingerprint) {
+      fail("shard " + std::to_string(index) + " of campaign " + name +
+           " disagrees with shard " + std::to_string(shards.front().first) +
+           " on campaign metadata despite equal fingerprints (corrupt "
+           "artifact?)");
+    }
+  }
+
+  auto ordered = sort_and_check_indices(shards, count, "campaign " + name);
+
+  // The slices must be the canonical i/N floor partition of the sample —
+  // anything else means a shard ran with a different count or the artifact
+  // was truncated.
+  for (const auto& [index, artifact] : ordered) {
+    auto [lo, hi] = sample_slice_bounds(first.sample_size,
+                                        SampleSlice{index - 1, count});
+    if (artifact->slice_begin != lo || artifact->slice_end != hi) {
+      fail("shard " + std::to_string(index) + "/" + std::to_string(count) +
+           " of campaign " + name + " covers sample positions [" +
+           std::to_string(artifact->slice_begin) + ", " +
+           std::to_string(artifact->slice_end) + ") but the " +
+           std::to_string(count) + "-way split of " +
+           std::to_string(first.sample_size) + " sampled mutants expects [" +
+           std::to_string(lo) + ", " + std::to_string(hi) + ")");
+    }
+  }
+
+  DriverCampaignResult merged;
+  merged.device = first.device;
+  merged.entry = first.entry;
+  merged.total_sites = first.total_sites;
+  merged.total_mutants = first.total_mutants;
+  merged.sampled_mutants = first.sample_size;
+  merged.clean_fingerprint = first.clean_fingerprint;
+  merged.records.reserve(first.sample_size);
+
+  // Concatenating in shard order restores sample order; re-dedup globally.
+  // A record whose canonical key appeared in an earlier shard was compiled
+  // and booted there redundantly — the unsharded run would have classified
+  // it from the representative, with an identical outcome (the dedup
+  // invariant), so only its flag and the counters need rewriting.
+  std::unordered_set<Key128, Key128Hash> seen;
+  if (first.dedup) seen.reserve(first.sample_size);
+  for (const auto& [index, artifact] : ordered) {
+    (void)index;
+    for (const ShardRecord& r : artifact->records) {
+      MutantRecord rec = r.rec;
+      if (first.dedup) {
+        auto [it, inserted] = seen.insert(Key128{r.key_hi, r.key_lo});
+        (void)it;
+        rec.deduped = !inserted;
+        if (inserted) {
+          merged.prefix_cache_hits += r.cache_hit ? 1 : 0;
+        } else {
+          ++merged.deduped_mutants;
+        }
+      } else {
+        rec.deduped = false;
+        merged.prefix_cache_hits += r.cache_hit ? 1 : 0;
+      }
+      merged.records.push_back(std::move(rec));
+    }
+  }
+  for (const MutantRecord& rec : merged.records) {
+    merged.tally.add(rec.outcome, rec.site);
+  }
+  return merged;
+}
+
+std::vector<MergedCampaign> merge_shard_bundles(
+    const std::vector<ShardBundle>& bundles) {
+  if (bundles.empty()) fail("no shard artifacts to merge");
+
+  const unsigned count = bundles.front().shard.count;
+  std::vector<std::pair<unsigned, const ShardBundle*>> indexed;
+  indexed.reserve(bundles.size());
+  for (const ShardBundle& b : bundles) {
+    if (b.shard.count != count) {
+      fail("shard count mismatch: got artifacts from a " +
+           std::to_string(count) + "-way and a " +
+           std::to_string(b.shard.count) + "-way sharding");
+    }
+    indexed.emplace_back(b.shard.index, &b);
+  }
+  std::sort(indexed.begin(), indexed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    std::vector<unsigned> indices;
+    indices.reserve(indexed.size());
+    for (const auto& [index, bundle] : indexed) {
+      (void)bundle;
+      indices.push_back(index);
+    }
+    check_index_coverage(indices, count, "");
+  }
+
+  // Every shard process must have run the same campaign list, in order —
+  // the bundles are slices of one run, not a grab bag.
+  const std::vector<ShardArtifact>& reference = indexed.front().second->campaigns;
+  for (const auto& [index, bundle] : indexed) {
+    if (bundle->campaigns.size() != reference.size()) {
+      fail("shard " + std::to_string(index) + " carries " +
+           std::to_string(bundle->campaigns.size()) + " campaigns but shard " +
+           std::to_string(indexed.front().first) + " carries " +
+           std::to_string(reference.size()));
+    }
+    for (size_t j = 0; j < reference.size(); ++j) {
+      if (bundle->campaigns[j].device != reference[j].device ||
+          bundle->campaigns[j].label != reference[j].label) {
+        fail("shard " + std::to_string(index) + " campaign #" +
+             std::to_string(j) + " is " +
+             campaign_name(bundle->campaigns[j]) + " but shard " +
+             std::to_string(indexed.front().first) + " ran " +
+             campaign_name(reference[j]) + " in that position");
+      }
+    }
+  }
+
+  std::vector<MergedCampaign> merged;
+  merged.reserve(reference.size());
+  for (size_t j = 0; j < reference.size(); ++j) {
+    std::vector<std::pair<unsigned, const ShardArtifact*>> shards;
+    shards.reserve(indexed.size());
+    for (const auto& [index, bundle] : indexed) {
+      shards.emplace_back(index, &bundle->campaigns[j]);
+    }
+    MergedCampaign m;
+    m.device = reference[j].device;
+    m.label = reference[j].label;
+    m.result = merge_shard_artifacts(shards);
+    merged.push_back(std::move(m));
+  }
+  return merged;
+}
+
+}  // namespace eval

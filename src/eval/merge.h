@@ -1,0 +1,52 @@
+// Recombines campaign shard artifacts (eval/shard.h) into results that are
+// byte-identical to the single-process run — records, tallies, counters and
+// therefore eval/report.h's rendered tables.
+//
+// Merge semantics: canonical-key dedup is shard-local while the shards run
+// (a shard cannot see another shard's mutants), so a mutant that the
+// unsharded campaign would classify as a duplicate may have been genuinely
+// compiled and booted by its shard. That is safe — the dedup invariant
+// (ctest-enforced since the dedup PR) guarantees a key-equal mutant's run
+// produces the same outcome and detail as duplicate classification — but
+// the `deduped` flags and the dedup/prefix-cache counters must be
+// reconstructed globally. The merge therefore re-dedups across shards: it
+// walks the concatenated records in sample order, marks every record whose
+// canonical key hash appeared earlier as `deduped`, and counts prefix-cache
+// hits only for globally-first records (the only compiles the unsharded
+// campaign performs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/driver_campaign.h"
+#include "eval/shard.h"
+
+namespace eval {
+
+/// One campaign reassembled from all its shards.
+struct MergedCampaign {
+  std::string device;
+  std::string label;  // "C" / "CDevil" (ShardArtifact::label)
+  DriverCampaignResult result;
+};
+
+/// Merges one campaign's shard artifacts, given in any order. Throws
+/// std::runtime_error naming the offence when the artifacts do not tile
+/// exactly one campaign: mismatched config fingerprints, duplicate or
+/// missing shard indices, disagreeing shard counts, slice bounds that do
+/// not match the canonical i/N partition, or metadata that disagrees
+/// between shards. `shards[i].first` is the 1-based shard index the
+/// artifact came from (its bundle's ShardSpec).
+[[nodiscard]] DriverCampaignResult merge_shard_artifacts(
+    const std::vector<std::pair<unsigned, const ShardArtifact*>>& shards);
+
+/// Merges whole bundles (one per shard process): validates the shard
+/// coordinates (same count everywhere, indices exactly 1..N), requires
+/// every bundle to carry the same campaign list (device/label, in order),
+/// and merges each campaign across the bundles. Campaigns come back in the
+/// bundles' common list order.
+[[nodiscard]] std::vector<MergedCampaign> merge_shard_bundles(
+    const std::vector<ShardBundle>& bundles);
+
+}  // namespace eval

@@ -1,0 +1,414 @@
+#include "eval/shard.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json_io.h"
+#include "support/strings.h"
+
+namespace eval {
+
+namespace {
+
+constexpr const char* kFormatTag = "devil-repro-shard";
+constexpr int64_t kFormatVersion = 1;
+
+/// All outcomes, in enum order, for tally serialization and the reverse
+/// outcome_short lookup.
+constexpr Outcome kAllOutcomes[] = {
+    Outcome::kCompileTime, Outcome::kRunTime,      Outcome::kDeadCode,
+    Outcome::kBoot,        Outcome::kCrash,        Outcome::kInfiniteLoop,
+    Outcome::kHalt,        Outcome::kDamagedBoot,
+};
+
+Outcome outcome_from_short(const std::string& name, const std::string& ctx) {
+  for (Outcome o : kAllOutcomes) {
+    if (name == outcome_short(o)) return o;
+  }
+  throw std::runtime_error(ctx + ": unknown outcome '" + name + "'");
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// Inverse of support::hex128, with artifact-shaped diagnostics.
+std::pair<uint64_t, uint64_t> parse_hex128(const std::string& s,
+                                           const std::string& ctx) {
+  if (s.size() != 32) {
+    throw std::runtime_error(ctx + ": expected 32 hex chars, got '" + s + "'");
+  }
+  uint64_t lanes[2] = {0, 0};
+  for (size_t i = 0; i < 32; ++i) {
+    char c = s[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error(ctx + ": invalid hex char in '" + s + "'");
+    }
+    lanes[i / 16] = (lanes[i / 16] << 4) | nibble;
+  }
+  return {lanes[0], lanes[1]};
+}
+
+// --- typed field access with artifact-shaped diagnostics ---------------------
+
+const support::JsonValue& require(const support::JsonValue& obj,
+                                  const char* key, const std::string& ctx) {
+  const support::JsonValue* v = obj.find(key);
+  if (!v) {
+    throw std::runtime_error(ctx + ": missing field '" + key + "'");
+  }
+  return *v;
+}
+
+size_t require_size(const support::JsonValue& obj, const char* key,
+                    const std::string& ctx) {
+  int64_t v = require(obj, key, ctx).as_int();
+  if (v < 0) {
+    throw std::runtime_error(ctx + ": field '" + key + "' is negative");
+  }
+  return static_cast<size_t>(v);
+}
+
+const std::string& require_string(const support::JsonValue& obj,
+                                  const char* key, const std::string& ctx) {
+  return require(obj, key, ctx).as_string();
+}
+
+/// Reads an optional boolean that the writer omits when false.
+bool optional_flag(const support::JsonValue& obj, const char* key) {
+  const support::JsonValue* v = obj.find(key);
+  return v != nullptr && v->as_bool();
+}
+
+}  // namespace
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const std::string what = "bad shard spec '" + text + "'";
+  size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument(what + ": expected i/N, e.g. 1/3");
+  }
+  std::string index_s = text.substr(0, slash);
+  std::string count_s = text.substr(slash + 1);
+  if (!all_digits(index_s) || !all_digits(count_s) || index_s.size() > 9 ||
+      count_s.size() > 9) {
+    throw std::invalid_argument(what + ": expected i/N with decimal i and N");
+  }
+  ShardSpec spec;
+  spec.index = static_cast<unsigned>(std::stoul(index_s));
+  spec.count = static_cast<unsigned>(std::stoul(count_s));
+  if (spec.count == 0) {
+    throw std::invalid_argument(what + ": shard count must be >= 1");
+  }
+  if (spec.index == 0 || spec.index > spec.count) {
+    throw std::invalid_argument(what + ": shard index is 1-based and must be "
+                                "between 1 and " + std::to_string(spec.count));
+  }
+  return spec;
+}
+
+std::string campaign_fingerprint(const DriverCampaignConfig& config) {
+  const std::string entry =
+      config.entry.empty() ? config.device.entry : config.entry;
+  support::Fnv128 h;
+  // Version tag first: a future format change re-keys every fingerprint.
+  h.update_field("devil-repro-campaign-v1");
+  h.update_field(config.stubs);
+  h.update_field(config.driver);
+  h.update_field(config.unit_name);
+  h.update_field(entry);
+  h.update_field(config.device.device);
+  h.update_u64(config.device.port_base);
+  h.update_u64(config.device.port_span);
+  h.update_u64(config.is_cdevil ? 1 : 0);
+  h.update_u64(config.sample_percent);
+  h.update_u64(config.seed);
+  h.update_u64(config.step_budget);
+  h.update_field(minic::exec_engine_name(config.engine));
+  h.update_u64(config.dedup ? 1 : 0);
+  h.update_u64(config.prefix_cache ? 1 : 0);
+  // Deliberately not hashed: config.threads — results are thread-count
+  // invariant (ctest-enforced), so shards may run at different widths.
+  return h.hex();
+}
+
+ShardArtifact run_campaign_shard(const DriverCampaignConfig& config,
+                                 const std::string& label, ShardSpec spec) {
+  if (spec.count == 0 || spec.index == 0 || spec.index > spec.count) {
+    throw std::invalid_argument("bad shard spec " + spec.to_string() +
+                                ": shard index is 1-based and must be between "
+                                "1 and the shard count");
+  }
+  CampaignSideband side;
+  DriverCampaignResult res = run_driver_campaign_slice(
+      config, SampleSlice{spec.index - 1, spec.count}, &side);
+
+  ShardArtifact a;
+  a.device = res.device;
+  a.label = label;
+  a.entry = res.entry;
+  a.fingerprint = campaign_fingerprint(config);
+  a.dedup = config.dedup;
+  a.sample_size = side.sample_size;
+  a.slice_begin = side.slice_begin;
+  a.slice_end = side.slice_end;
+  a.total_sites = res.total_sites;
+  a.total_mutants = res.total_mutants;
+  a.clean_fingerprint = res.clean_fingerprint;
+  a.deduped_mutants = res.deduped_mutants;
+  a.prefix_cache_hits = res.prefix_cache_hits;
+  a.tally = res.tally;
+  a.records.resize(res.records.size());
+  for (size_t i = 0; i < res.records.size(); ++i) {
+    ShardRecord& r = a.records[i];
+    r.rec = res.records[i];
+    r.cache_hit = side.prefix_cache_hit[i] != 0;
+    if (config.dedup) {
+      r.key_hi = side.canonical_hash[i].first;
+      r.key_lo = side.canonical_hash[i].second;
+    }
+  }
+  return a;
+}
+
+// --- serialization -----------------------------------------------------------
+
+std::string serialize_shard_bundle(const ShardBundle& bundle) {
+  using support::JsonValue;
+  JsonValue root = JsonValue::object();
+  root.set("format", kFormatTag);
+  root.set("version", kFormatVersion);
+  JsonValue shard = JsonValue::object();
+  shard.set("index", static_cast<int64_t>(bundle.shard.index));
+  shard.set("count", static_cast<int64_t>(bundle.shard.count));
+  root.set("shard", std::move(shard));
+
+  JsonValue campaigns = JsonValue::array();
+  for (const ShardArtifact& a : bundle.campaigns) {
+    JsonValue c = JsonValue::object();
+    c.set("device", a.device);
+    c.set("label", a.label);
+    c.set("entry", a.entry);
+    c.set("fingerprint", a.fingerprint);
+    c.set("dedup", a.dedup);
+    c.set("sample_size", a.sample_size);
+    c.set("slice_begin", a.slice_begin);
+    c.set("slice_end", a.slice_end);
+    c.set("total_sites", a.total_sites);
+    c.set("total_mutants", a.total_mutants);
+    c.set("clean_fingerprint", a.clean_fingerprint);
+    c.set("deduped_mutants", a.deduped_mutants);
+    c.set("prefix_cache_hits", a.prefix_cache_hits);
+
+    // Shard-local tally, keyed by the short outcome names in enum order
+    // (std::map iteration), zero rows omitted — byte-stable.
+    JsonValue tally = JsonValue::object();
+    for (const auto& [outcome, count] : a.tally.mutants) {
+      if (count > 0) tally.set(outcome_short(outcome), count);
+    }
+    c.set("tally", std::move(tally));
+
+    JsonValue records = JsonValue::array();
+    for (const ShardRecord& r : a.records) {
+      JsonValue rec = JsonValue::object();
+      rec.set("mutant", r.rec.mutant_index);
+      rec.set("site", r.rec.site);
+      rec.set("outcome", outcome_short(r.rec.outcome));
+      if (!r.rec.detail.empty()) rec.set("detail", r.rec.detail);
+      if (r.rec.deduped) rec.set("deduped", true);
+      if (r.cache_hit) rec.set("cache_hit", true);
+      if (a.dedup) rec.set("key", support::hex128(r.key_hi, r.key_lo));
+      records.push_back(std::move(rec));
+    }
+    c.set("records", std::move(records));
+    campaigns.push_back(std::move(c));
+  }
+  root.set("campaigns", std::move(campaigns));
+  return to_json(root);
+}
+
+namespace {
+
+ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
+  std::string ctx = "campaign #" + std::to_string(position);
+  ShardArtifact a;
+  a.device = require_string(c, "device", ctx);
+  a.label = require_string(c, "label", ctx);
+  ctx = "campaign " + a.device + "/" + a.label;
+  a.entry = require_string(c, "entry", ctx);
+  a.fingerprint = require_string(c, "fingerprint", ctx);
+  a.dedup = require(c, "dedup", ctx).as_bool();
+  a.sample_size = require_size(c, "sample_size", ctx);
+  a.slice_begin = require_size(c, "slice_begin", ctx);
+  a.slice_end = require_size(c, "slice_end", ctx);
+  a.total_sites = require_size(c, "total_sites", ctx);
+  a.total_mutants = require_size(c, "total_mutants", ctx);
+  a.clean_fingerprint = require(c, "clean_fingerprint", ctx).as_int();
+  a.deduped_mutants = require_size(c, "deduped_mutants", ctx);
+  a.prefix_cache_hits = require_size(c, "prefix_cache_hits", ctx);
+
+  if (a.slice_begin > a.slice_end || a.slice_end > a.sample_size) {
+    throw std::runtime_error(ctx + ": slice [" +
+                             std::to_string(a.slice_begin) + ", " +
+                             std::to_string(a.slice_end) +
+                             ") does not fit the sample of " +
+                             std::to_string(a.sample_size));
+  }
+
+  const auto& records = require(c, "records", ctx).items();
+  if (records.size() != a.slice_end - a.slice_begin) {
+    throw std::runtime_error(
+        ctx + ": " + std::to_string(records.size()) +
+        " records do not fill the slice of " +
+        std::to_string(a.slice_end - a.slice_begin) +
+        " (truncated artifact?)");
+  }
+  a.records.reserve(records.size());
+  size_t deduped = 0, cache_hits = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::string rctx = ctx + " record #" + std::to_string(i);
+    const support::JsonValue& rj = records[i];
+    ShardRecord r;
+    r.rec.mutant_index = require_size(rj, "mutant", rctx);
+    r.rec.site = require_size(rj, "site", rctx);
+    r.rec.outcome =
+        outcome_from_short(require_string(rj, "outcome", rctx), rctx);
+    if (const support::JsonValue* detail = rj.find("detail")) {
+      r.rec.detail = detail->as_string();
+    }
+    r.rec.deduped = optional_flag(rj, "deduped");
+    r.cache_hit = optional_flag(rj, "cache_hit");
+    if (a.dedup) {
+      std::tie(r.key_hi, r.key_lo) =
+          parse_hex128(require_string(rj, "key", rctx), rctx + " field 'key'");
+    } else if (rj.find("key") != nullptr) {
+      throw std::runtime_error(rctx + ": has a dedup key but the campaign "
+                               "ran with dedup off");
+    }
+    deduped += r.rec.deduped ? 1 : 0;
+    cache_hits += r.cache_hit ? 1 : 0;
+    a.records.push_back(std::move(r));
+  }
+
+  // The tally and counters must be re-derivable from the records — a
+  // mismatch means the artifact was edited or corrupted after the run.
+  if (deduped != a.deduped_mutants) {
+    throw std::runtime_error(ctx + ": deduped_mutants says " +
+                             std::to_string(a.deduped_mutants) +
+                             " but the records carry " +
+                             std::to_string(deduped) + " (corrupt artifact?)");
+  }
+  if (cache_hits != a.prefix_cache_hits) {
+    throw std::runtime_error(ctx + ": prefix_cache_hits says " +
+                             std::to_string(a.prefix_cache_hits) +
+                             " but the records carry " +
+                             std::to_string(cache_hits) +
+                             " (corrupt artifact?)");
+  }
+  for (const ShardRecord& r : a.records) {
+    a.tally.add(r.rec.outcome, r.rec.site);
+  }
+  const auto& stored = require(c, "tally", ctx);
+  for (Outcome o : kAllOutcomes) {
+    const support::JsonValue* v = stored.find(outcome_short(o));
+    size_t stored_count = v ? require_size(stored, outcome_short(o), ctx) : 0;
+    if (stored_count != a.tally.mutants_of(o)) {
+      throw std::runtime_error(
+          ctx + ": tally['" + std::string(outcome_short(o)) + "'] says " +
+          std::to_string(stored_count) + " but the records tally " +
+          std::to_string(a.tally.mutants_of(o)) + " (corrupt artifact?)");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+ShardBundle parse_shard_bundle(const std::string& text) {
+  support::JsonValue root = [&] {
+    try {
+      return support::parse_json(text);
+    } catch (const support::JsonError& e) {
+      throw std::runtime_error(std::string("not a shard artifact: ") +
+                               e.what());
+    }
+  }();
+  try {
+    const std::string ctx = "shard artifact";
+    const std::string& format = require_string(root, "format", ctx);
+    if (format != kFormatTag) {
+      throw std::runtime_error("not a shard artifact: format tag is '" +
+                               format + "', expected '" + kFormatTag + "'");
+    }
+    int64_t version = require(root, "version", ctx).as_int();
+    if (version != kFormatVersion) {
+      throw std::runtime_error("unsupported shard artifact version " +
+                               std::to_string(version) + " (this build reads "
+                               "version " + std::to_string(kFormatVersion) +
+                               ")");
+    }
+    ShardBundle bundle;
+    const support::JsonValue& shard = require(root, "shard", ctx);
+    bundle.shard.index =
+        static_cast<unsigned>(require_size(shard, "index", "shard"));
+    bundle.shard.count =
+        static_cast<unsigned>(require_size(shard, "count", "shard"));
+    if (bundle.shard.count == 0 || bundle.shard.index == 0 ||
+        bundle.shard.index > bundle.shard.count) {
+      throw std::runtime_error("shard artifact has invalid shard coordinates " +
+                               bundle.shard.to_string());
+    }
+    const auto& campaigns = require(root, "campaigns", ctx).items();
+    bundle.campaigns.reserve(campaigns.size());
+    for (size_t i = 0; i < campaigns.size(); ++i) {
+      bundle.campaigns.push_back(parse_artifact(campaigns[i], i));
+    }
+    return bundle;
+  } catch (const support::JsonError& e) {
+    // Type errors from as_int()/as_string() on present-but-wrong fields.
+    throw std::runtime_error(std::string("corrupt shard artifact: ") +
+                             e.what());
+  }
+}
+
+void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error(path + ": cannot open for writing");
+  }
+  std::string text = serialize_shard_bundle(bundle);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.put('\n');
+  if (!out.flush()) {
+    throw std::runtime_error(path + ": write failed");
+  }
+}
+
+ShardBundle load_shard_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path + ": cannot open");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error(path + ": read failed");
+  }
+  try {
+    return parse_shard_bundle(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace eval

@@ -1,0 +1,113 @@
+// Process-level campaign sharding: run one `shard i/N` slice of a driver
+// campaign and serialize the result as a mergeable artifact.
+//
+// A shard artifact is the recovery-friendly unit of work for scaling the
+// campaigns past one process (or one host): it carries everything a merge
+// needs to reassemble the exact single-process result — the per-mutant
+// records with their canonical dedup-key hashes, the slice bounds, the
+// shard-local tallies/counters, and a config fingerprint that pins the
+// campaign configuration the shard actually ran. eval/merge.h recombines
+// artifacts and rejects any set whose fingerprints, shard counts or slice
+// bounds do not tile one campaign.
+//
+// Shard indices are 1-based in specs and artifacts ("shard 1/3".."3/3"),
+// matching the CLI `--shard i/N`; the in-process SampleSlice stays 0-based.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/driver_campaign.h"
+
+namespace eval {
+
+/// 1-based shard coordinates: this process runs slice `index` of `count`.
+struct ShardSpec {
+  unsigned index = 1;
+  unsigned count = 1;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(index) + "/" + std::to_string(count);
+  }
+};
+
+/// Parses "i/N" (1 <= i <= N, decimal, no extra characters). Throws
+/// std::invalid_argument with a diagnostic naming the bad spec otherwise —
+/// "0/3" and "4/3" are rejected, not clamped.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+
+/// One sampled mutant's outcome inside a shard artifact: the MutantRecord
+/// plus the sideband the merge needs (whether this record compiled through
+/// the prefix cache, and the 128-bit canonical dedup-key hash used to
+/// re-dedup across shards; the hash is (0,0) when the campaign ran with
+/// dedup off).
+struct ShardRecord {
+  MutantRecord rec;
+  bool cache_hit = false;
+  uint64_t key_hi = 0;
+  uint64_t key_lo = 0;
+};
+
+/// One campaign's shard slice, as serialized. `label` distinguishes the
+/// paper's two campaigns per device ("C", "CDevil"); `fingerprint` is a
+/// 128-bit hex digest of every config field that can change records or
+/// counters (driver and stub text, device binding, entry, sample seed and
+/// percent, step budget, engine, dedup and prefix-cache flags — but not
+/// the thread count, which never changes results). Tallies and counters
+/// are shard-local; the merge recomputes the global ones.
+struct ShardArtifact {
+  std::string device;
+  std::string label;
+  std::string entry;
+  std::string fingerprint;
+  bool dedup = true;
+
+  size_t sample_size = 0;   // full campaign sample, before slicing
+  size_t slice_begin = 0;   // this shard's range, in sample positions
+  size_t slice_end = 0;
+  size_t total_sites = 0;
+  size_t total_mutants = 0;
+  int64_t clean_fingerprint = 0;
+
+  size_t deduped_mutants = 0;    // shard-local (dedup never crosses shards)
+  size_t prefix_cache_hits = 0;  // shard-local
+  Tally tally;                   // shard-local, over `records`
+
+  std::vector<ShardRecord> records;
+};
+
+/// A serialized shard file: the shard coordinates plus one artifact per
+/// campaign the process ran (the CLI writes C and CDevil per device).
+struct ShardBundle {
+  ShardSpec shard;
+  std::vector<ShardArtifact> campaigns;
+};
+
+/// Fingerprint of everything in `config` that determines campaign results
+/// and counters (see ShardArtifact::fingerprint). 32 hex chars.
+[[nodiscard]] std::string campaign_fingerprint(
+    const DriverCampaignConfig& config);
+
+/// Runs slice `spec` of the campaign and packages the artifact. The
+/// underlying kernel is run_driver_campaign_slice, so an artifact's records
+/// are byte-identical to the matching subrange of the unsharded campaign,
+/// at any thread count.
+[[nodiscard]] ShardArtifact run_campaign_shard(
+    const DriverCampaignConfig& config, const std::string& label,
+    ShardSpec spec);
+
+/// JSON round trip. serialize is byte-stable (equal bundles yield equal
+/// bytes); parse validates the format tag, version and every field's
+/// presence and type, recomputes the per-artifact tally/counters from the
+/// records, and throws std::runtime_error with a clear diagnostic on
+/// truncated, corrupt or internally inconsistent input.
+[[nodiscard]] std::string serialize_shard_bundle(const ShardBundle& bundle);
+[[nodiscard]] ShardBundle parse_shard_bundle(const std::string& text);
+
+/// File convenience wrappers; errors (IO or parse) throw std::runtime_error
+/// prefixed with the path.
+void save_shard_bundle(const std::string& path, const ShardBundle& bundle);
+[[nodiscard]] ShardBundle load_shard_bundle(const std::string& path);
+
+}  // namespace eval

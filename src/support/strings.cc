@@ -52,4 +52,57 @@ std::string splice(std::string_view text, size_t offset, size_t len,
   return out;
 }
 
+namespace {
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Fnv128& Fnv128::update(std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    hi_ = (hi_ ^ c) * kFnvPrime;
+    lo_ = (lo_ ^ c) * kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv128& Fnv128::update_field(std::string_view bytes) {
+  update_u64(bytes.size());
+  return update(bytes);
+}
+
+Fnv128& Fnv128::update_u64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    unsigned char c = static_cast<unsigned char>(v >> shift);
+    hi_ = (hi_ ^ c) * kFnvPrime;
+    lo_ = (lo_ ^ c) * kFnvPrime;
+  }
+  return *this;
+}
+
+std::pair<uint64_t, uint64_t> Fnv128::digest() const {
+  return {hi_, mix64(lo_)};
+}
+
+std::string Fnv128::hex() const {
+  auto [hi, lo] = digest();
+  return hex128(hi, lo);
+}
+
+std::pair<uint64_t, uint64_t> fnv128(std::string_view bytes) {
+  return Fnv128().update(bytes).digest();
+}
+
+std::string hex128(uint64_t hi, uint64_t lo) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 15; i >= 0; --i, hi >>= 4) out[i] = kDigits[hi & 0xf];
+  for (int i = 31; i >= 16; --i, lo >>= 4) out[i] = kDigits[lo & 0xf];
+  return out;
+}
+
 }  // namespace support
