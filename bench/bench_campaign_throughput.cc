@@ -11,6 +11,7 @@
 #include "devil/compiler.h"
 #include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
+#include "eval/fault_campaign.h"
 #include "eval/shard.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
@@ -411,6 +412,33 @@ BENCHMARK(BM_CampaignParallelCDevil)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// E14 — Fault-injection campaign throughput: the full scenario matrix of the
+// busmouse C driver (enumerate plans, boot each under its injector shim,
+// classify). Scenarios/s rides the mutants_per_s counter so the existing
+// bench gate covers it.
+// ---------------------------------------------------------------------------
+
+void BM_FaultCampaign(benchmark::State& state) {
+  eval::FaultCampaignConfig cfg;
+  cfg.base.driver = corpus::c_busmouse_driver();
+  cfg.base.device = eval::busmouse_binding();
+  cfg.base.threads = 1;
+  size_t scenarios = 0, triggered = 0;
+  for (auto _ : state) {
+    auto res = eval::run_fault_campaign(cfg);
+    scenarios = res.sampled_scenarios;
+    triggered = res.triggered_scenarios;
+    benchmark::DoNotOptimize(res.tally.total);
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios);
+  state.counters["triggered"] = static_cast<double>(triggered);
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(scenarios * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultCampaign)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -16,6 +16,13 @@
 // byte-identical to the single-process campaign run (tables, tallies and
 // engine counters included). Mismatched configurations, duplicate or
 // missing shards and corrupt artifacts are rejected with diagnostics.
+//
+// `--faults` flips the experiment: the drivers stay clean and the *device*
+// misbehaves. Each selected device's C and CDevil drivers boot against the
+// deterministic fault-scenario matrix (stuck bits, flipped reads, dropped
+// writes, floating bus, wedged status — eval/fault_campaign.h) and the
+// outcomes are bucketed Tables-3/4-style. Fault campaigns compose with
+// `--shard`/`--merge` exactly like mutation campaigns.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +36,7 @@
 #include "devil/compiler.h"
 #include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
+#include "eval/fault_campaign.h"
 #include "eval/merge.h"
 #include "eval/report.h"
 #include "eval/shard.h"
@@ -116,6 +124,41 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   return true;
 }
 
+/// The C and CDevil fault-campaign configs for one corpus device: the same
+/// shared campaign configs wrapped with the default fault knobs (full
+/// scenario matrix, default trigger offsets), so the fingerprint pins one
+/// configuration across the single-process, shard and merge paths.
+struct DeviceFaultConfigs {
+  eval::FaultCampaignConfig c;
+  eval::FaultCampaignConfig cdevil;
+};
+
+bool make_fault_configs(const corpus::CampaignDrivers& drivers,
+                        unsigned threads, DeviceFaultConfigs* out) {
+  DeviceCampaignConfigs base;
+  if (!make_device_configs(drivers, threads, &base)) return false;
+  out->c = eval::FaultCampaignConfig{};
+  out->c.base = std::move(base.c);
+  out->cdevil = eval::FaultCampaignConfig{};
+  out->cdevil.base = std::move(base.cdevil);
+  return true;
+}
+
+/// One device's fault-injection report section; shared by the
+/// single-process run and `--merge`, so the two outputs are
+/// byte-comparable.
+void print_fault_section(const std::string& device,
+                         const eval::FaultCampaignResult& c_res,
+                         const eval::FaultCampaignResult& d_res) {
+  std::printf("=== %s (fault injection) ===\n\n", device.c_str());
+  std::printf("%s\n", eval::render_fault_tables(c_res, d_res).c_str());
+  std::printf("Scenario counters [%s]: C triggered %zu/%zu; "
+              "CDevil triggered %zu/%zu\n",
+              device.c_str(), c_res.triggered_scenarios,
+              c_res.sampled_scenarios, d_res.triggered_scenarios,
+              d_res.sampled_scenarios);
+}
+
 /// One device's report section. Both the single-process campaign run and
 /// `--merge` print through here, so the two outputs are byte-comparable.
 void print_device_section(const std::string& device,
@@ -169,6 +212,37 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
   return check("C", c_res) & check("CDevil", d_res);
 }
 
+/// Runs one device's C vs CDevil fault campaigns and prints the paired
+/// fault tables. With `assert_counters` the exit code verifies the paper
+/// shape: the faults must actually fire, and the CDevil driver must detect
+/// strictly more injected hardware faults than its classic-C twin.
+bool run_device_fault_campaigns(const corpus::CampaignDrivers& drivers,
+                                unsigned threads, bool assert_counters) {
+  DeviceFaultConfigs cfgs;
+  if (!make_fault_configs(drivers, threads, &cfgs)) return false;
+  auto c_res = eval::run_fault_campaign(cfgs.c);
+  auto d_res = eval::run_fault_campaign(cfgs.cdevil);
+
+  print_fault_section(drivers.device, c_res, d_res);
+  if (!assert_counters) return true;
+  bool ok = true;
+  if (c_res.triggered_scenarios == 0 || d_res.triggered_scenarios == 0) {
+    std::fprintf(stderr, "FAIL: %s fault campaigns triggered no faults "
+                 "(C %zu, CDevil %zu)\n",
+                 drivers.device, c_res.triggered_scenarios,
+                 d_res.triggered_scenarios);
+    ok = false;
+  }
+  if (d_res.tally.detected() <= c_res.tally.detected()) {
+    std::fprintf(stderr, "FAIL: %s CDevil driver detected %zu injected "
+                 "faults, not strictly more than the C driver's %zu\n",
+                 drivers.device, d_res.tally.detected(),
+                 c_res.tally.detected());
+    ok = false;
+  }
+  return ok;
+}
+
 void print_unknown_device(const std::string& device_filter) {
   std::fprintf(stderr, "unknown --device '%s' (known: all",
                device_filter.c_str());
@@ -205,15 +279,53 @@ int run_campaigns(unsigned threads, bool assert_counters,
   return ok ? 0 : 1;
 }
 
+/// `--faults`: runs the fault-injection campaigns for every selected
+/// device.
+int run_fault_campaigns(unsigned threads, bool assert_counters,
+                        const std::string& device_filter) {
+  std::printf("Running fault-injection campaigns (%u thread(s), 0 = all "
+              "cores, %s engine, device %s)...\n\n",
+              threads, minic::exec_engine_name(g_engine),
+              device_filter.c_str());
+  bool ok = true;
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    if (device_filter != "all" && device_filter != drivers.device) continue;
+    ok &= run_device_fault_campaigns(drivers, threads, assert_counters);
+  }
+  if (assert_counters) {
+    std::printf("fault assertions: %s\n", ok ? "OK" : "FAILED");
+  }
+  return ok ? 0 : 1;
+}
+
 /// `--shard i/N --out FILE`: runs slice i/N of every selected campaign and
-/// writes one mergeable bundle. Progress goes to stderr; stdout stays quiet
-/// so shard invocations compose in scripts.
+/// writes one mergeable bundle (fault campaigns with `--faults`, mutation
+/// campaigns otherwise). Progress goes to stderr; stdout stays quiet so
+/// shard invocations compose in scripts.
 int run_shard(eval::ShardSpec spec, const std::string& out_path,
-              unsigned threads, const std::string& device_filter) {
+              unsigned threads, const std::string& device_filter,
+              bool faults) {
   eval::ShardBundle bundle;
   bundle.shard = spec;
   for (const auto& drivers : corpus::campaign_drivers()) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
+    if (faults) {
+      DeviceFaultConfigs cfgs;
+      if (!make_fault_configs(drivers, threads, &cfgs)) return 1;
+      bundle.fault_campaigns.push_back(
+          eval::run_fault_campaign_shard(cfgs.c, "C", spec));
+      bundle.fault_campaigns.push_back(
+          eval::run_fault_campaign_shard(cfgs.cdevil, "CDevil", spec));
+      const auto& c =
+          bundle.fault_campaigns[bundle.fault_campaigns.size() - 2];
+      const auto& d = bundle.fault_campaigns.back();
+      std::fprintf(stderr,
+                   "shard %s [%s faults]: C records %zu of %zu sampled, "
+                   "CDevil records %zu of %zu sampled\n",
+                   spec.to_string().c_str(), drivers.device, c.records.size(),
+                   c.sample_size, d.records.size(), d.sample_size);
+      continue;
+    }
     DeviceCampaignConfigs cfgs;
     if (!make_device_configs(drivers, threads, &cfgs)) return 1;
     bundle.campaigns.push_back(
@@ -263,6 +375,31 @@ int run_merge(const std::vector<std::string>& paths) {
                     .c_str());
     ++i;
   }
+  // Fault campaigns merge and print the same way, after the mutation
+  // sections (a `--faults` shard bundle carries only fault campaigns, so
+  // the loop above printed nothing for it).
+  auto fault_merged = eval::merge_fault_bundles(bundles);
+  i = 0;
+  while (i < fault_merged.size()) {
+    if (i + 1 < fault_merged.size() &&
+        fault_merged[i].device == fault_merged[i + 1].device &&
+        fault_merged[i].label == "C" &&
+        fault_merged[i + 1].label == "CDevil") {
+      print_fault_section(fault_merged[i].device, fault_merged[i].result,
+                          fault_merged[i + 1].result);
+      i += 2;
+      continue;
+    }
+    std::printf("=== %s (fault injection) ===\n\n",
+                fault_merged[i].device.c_str());
+    std::printf("%s\n",
+                eval::render_fault_table("Fault campaign " +
+                                             fault_merged[i].label + " (" +
+                                             fault_merged[i].device + ")",
+                                         fault_merged[i].result)
+                    .c_str());
+    ++i;
+  }
   return 0;
 }
 
@@ -274,8 +411,12 @@ int usage(std::FILE* to) {
       "Modes (default: run the single-typo scenario):\n"
       "  --threads N          run the Tables 3/4 campaigns on N workers\n"
       "                       (0 = all cores)\n"
+      "  --faults             run the fault-injection campaigns instead:\n"
+      "                       clean drivers against the deterministic\n"
+      "                       hardware-fault scenario matrix\n"
       "  --shard I/N --out F  run slice I of N of every selected campaign\n"
       "                       and write a mergeable shard artifact to F\n"
+      "                       (fault campaigns when --faults is given)\n"
       "  --merge FILE...      merge one artifact per shard and print the\n"
       "                       single-process campaign report\n"
       "\n"
@@ -284,6 +425,8 @@ int usage(std::FILE* to) {
       "  --list-devices       print the campaign device names, one per line\n"
       "  --walker             use the tree-walker oracle engine\n"
       "  --assert-counters    fail unless dedup + prefix cache engaged\n"
+      "                       (with --faults: fail unless faults fired and\n"
+      "                       CDevil detected strictly more than C)\n"
       "  --help               this message\n");
   return to == stdout ? 0 : 2;
 }
@@ -305,6 +448,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::vector<std::string> merge_paths;
   bool merge_given = false;
+  bool faults = false;
 
   // Strict flag parsing: an unrecognised flag is a hard error with a usage
   // message, never silently ignored — a typoed `--theads 8` must not
@@ -318,6 +462,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--walker") {
       g_engine = minic::ExecEngine::kTreeWalker;
+    } else if (arg == "--faults") {
+      faults = true;
     } else if (arg == "--assert-counters") {
       assert_counters = true;
     } else if (arg == "--threads") {
@@ -379,7 +525,7 @@ int main(int argc, char** argv) {
   }
 
   if (merge_given) {
-    if (threads_given || device_given || assert_counters ||
+    if (threads_given || device_given || assert_counters || faults ||
         !shard_spec_text.empty() || !out_path.empty() ||
         g_engine != minic::ExecEngine::kBytecodeVm) {
       return flag_error("--merge takes only artifact files (the merged "
@@ -421,13 +567,22 @@ int main(int argc, char** argv) {
       return flag_error(e.what());
     }
     try {
-      return run_shard(spec, out_path, threads, device);
+      return run_shard(spec, out_path, threads, device, faults);
+    } catch (const eval::ArtifactWriteError& e) {
+      // The artifact could not be written (unwritable path, full disk):
+      // exit 2 like the other preflight failures, never a partial file.
+      std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+      return 2;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
       return 1;
     }
   }
 
+  if (faults) {
+    return run_fault_campaigns(threads_given ? threads : 1, assert_counters,
+                               device);
+  }
   if (threads_given || device_given || assert_counters) {
     return run_campaigns(threads_given ? threads : 1, assert_counters,
                          device);

@@ -1,0 +1,275 @@
+#include "eval/fault_campaign.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "hw/io_bus.h"
+#include "minic/program.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace eval {
+
+const char* fault_outcome_name(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kDevilCheck: return "Devil check";
+    case FaultOutcome::kDriverPanic: return "Driver panic";
+    case FaultOutcome::kCrash: return "Crash";
+    case FaultOutcome::kHang: return "Hang";
+    case FaultOutcome::kCorruptBoot: return "Corrupt boot";
+    case FaultOutcome::kCleanBoot: return "Clean boot";
+  }
+  return "?";
+}
+
+const char* fault_outcome_short(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kDevilCheck: return "devil-check";
+    case FaultOutcome::kDriverPanic: return "panic";
+    case FaultOutcome::kCrash: return "crash";
+    case FaultOutcome::kHang: return "hang";
+    case FaultOutcome::kCorruptBoot: return "corrupt";
+    case FaultOutcome::kCleanBoot: return "clean";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultOutcome classify_run_fault(minic::FaultKind kind) {
+  switch (kind) {
+    case minic::FaultKind::kDevilAssertion:
+      return FaultOutcome::kDevilCheck;
+    case minic::FaultKind::kPanic:
+      return FaultOutcome::kDriverPanic;
+    case minic::FaultKind::kStepLimit:
+      return FaultOutcome::kHang;
+    case minic::FaultKind::kBusFault:
+    case minic::FaultKind::kDivByZero:
+    case minic::FaultKind::kBadIndex:
+    case minic::FaultKind::kStackOverflow:
+      return FaultOutcome::kCrash;
+    case minic::FaultKind::kNone:
+    case minic::FaultKind::kInternal:
+      break;
+  }
+  throw std::logic_error("unclassifiable fault kind");
+}
+
+}  // namespace
+
+std::vector<hw::FaultPlan> fault_scenario_matrix(
+    const DeviceBinding& device, const std::vector<uint32_t>& triggers) {
+  std::vector<hw::FaultPlan> plans;
+  plans.reserve(static_cast<size_t>(device.port_span) *
+                (3 * 8 + 3) * triggers.size());
+  for (uint32_t offset = 0; offset < device.port_span; ++offset) {
+    const uint32_t port = device.port_base + offset;
+    // Bit-level kinds: every single-bit mask of the 8-bit register file.
+    for (hw::FaultKind kind : {hw::FaultKind::kStuckZero,
+                               hw::FaultKind::kStuckOne,
+                               hw::FaultKind::kFlipOnce}) {
+      for (uint32_t bit = 0; bit < 8; ++bit) {
+        for (uint32_t after : triggers) {
+          hw::FaultPlan plan;
+          plan.port = port;
+          plan.kind = kind;
+          plan.after = after;
+          plan.mask = 1u << bit;
+          plans.push_back(plan);
+        }
+      }
+    }
+    // Whole-port kinds.
+    for (hw::FaultKind kind : {hw::FaultKind::kDropWrite,
+                               hw::FaultKind::kFloatingBus,
+                               hw::FaultKind::kNeverReady}) {
+      for (uint32_t after : triggers) {
+        hw::FaultPlan plan;
+        plan.port = port;
+        plan.kind = kind;
+        plan.after = after;
+        plans.push_back(plan);  // kNeverReady freezes reads at value 0
+      }
+    }
+  }
+  return plans;
+}
+
+uint64_t fault_scenario_seed(const FaultCampaignConfig& config) {
+  // Device shape only — never the driver or stub text — so the C and CDevil
+  // campaigns of one device sample identical scenario subsets.
+  support::Fnv128 h;
+  h.update_field("devil-repro-fault-seed-v1");
+  h.update_field(config.base.device.device);
+  h.update_u64(config.base.device.port_base);
+  h.update_u64(config.base.device.port_span);
+  h.update_u64(config.triggers.size());
+  for (uint32_t t : config.triggers) h.update_u64(t);
+  h.update_u64(config.sample_percent);
+  h.update_u64(config.base.seed);
+  auto [hi, lo] = h.digest();
+  return hi ^ lo;
+}
+
+FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config) {
+  return run_fault_campaign_slice(config, SampleSlice{});
+}
+
+FaultCampaignResult run_fault_campaign_slice(const FaultCampaignConfig& config,
+                                             SampleSlice slice,
+                                             CampaignSideband* sideband) {
+  const DriverCampaignConfig& base = config.base;
+  const std::string who = "fault campaign [" +
+                          (base.device.device.empty() ? std::string("?")
+                                                      : base.device.device) +
+                          "]: ";
+  if (slice.count == 0 || slice.index >= slice.count) {
+    throw std::logic_error(who + "invalid sample slice " +
+                           std::to_string(slice.index) + "/" +
+                           std::to_string(slice.count) +
+                           " (need 0 <= index < count)");
+  }
+  if (!base.device.ok()) {
+    throw std::logic_error(who +
+                           "no device binding configured (set "
+                           "DriverCampaignConfig::device; the standard "
+                           "bindings live in eval/device_bindings.h)");
+  }
+  if (config.triggers.empty()) {
+    throw std::logic_error(who + "empty trigger list (the scenario matrix "
+                           "needs at least one trigger offset)");
+  }
+  const std::string entry = base.entry.empty() ? base.device.entry : base.entry;
+  if (entry.empty()) {
+    throw std::logic_error(who + "no boot entry configured (neither the "
+                           "config nor the device binding names one)");
+  }
+  hw::DevicePool device_pool;
+  device_pool.set_factory(base.device.make_device);
+  const std::string at_entry = " (entry " + entry + ")";
+
+  // The driver is never mutated here: one compile, shared read-only by every
+  // scenario worker (run_unit builds per-call engine state over the const
+  // unit, so concurrent boots are safe).
+  const std::string prefix_text =
+      base.stubs.empty() ? std::string() : base.stubs + "\n";
+  minic::PreparedPrefix prefix = minic::prepare_prefix(base.unit_name,
+                                                       prefix_text);
+  if (!prefix.ok()) {
+    throw std::logic_error(who + "driver stubs do not lex:\n" +
+                           prefix.diags.render());
+  }
+  minic::Program clean = minic::compile_with_prefix(prefix, base.driver);
+  if (!clean.ok()) {
+    throw std::logic_error(who + "driver does not compile:\n" +
+                           clean.diags.render());
+  }
+
+  FaultCampaignResult result;
+  result.device = base.device.device;
+  result.entry = entry;
+
+  // --- fault-free baseline --------------------------------------------------------
+  {
+    hw::IoBus bus;
+    auto dev = device_pool.acquire();
+    bus.map(base.device.port_base, base.device.port_span, dev);
+    auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
+                               base.engine);
+    if (run.fault != minic::FaultKind::kNone) {
+      throw std::logic_error(who + "driver faults on healthy hardware" +
+                             at_entry + ": " + run.fault_message);
+    }
+    if (run.return_value <= 0) {
+      throw std::logic_error(who + "driver returned a non-positive boot "
+                             "fingerprint on healthy hardware" + at_entry);
+    }
+    if (dev->damaged()) {
+      throw std::logic_error(who + "driver damaged the healthy device: " +
+                             dev->damage_note());
+    }
+    result.clean_fingerprint = run.return_value;
+    bus = hw::IoBus();
+    device_pool.release(std::move(dev));
+  }
+
+  // --- scenario matrix + deterministic sample -------------------------------------
+  const std::vector<hw::FaultPlan> matrix =
+      fault_scenario_matrix(base.device, config.triggers);
+  result.total_scenarios = matrix.size();
+  auto sample = support::sample_indices(matrix.size(), config.sample_percent,
+                                        fault_scenario_seed(config));
+  const auto [slice_lo, slice_hi] = sample_slice_bounds(sample.size(), slice);
+  std::vector<size_t> selected(sample.begin() + slice_lo,
+                               sample.begin() + slice_hi);
+  result.sampled_scenarios = selected.size();
+  if (sideband) {
+    sideband->sample_size = sample.size();
+    sideband->slice_begin = slice_lo;
+    sideband->slice_end = slice_hi;
+    sideband->prefix_cache_hit.clear();
+    sideband->canonical_hash.clear();  // scenarios are never deduped
+  }
+
+  // --- per-scenario boot (parallel map) -------------------------------------------
+  // Workers write only their own records[i]; the order-sensitive tally (and
+  // the triggered count) is reduced after the join, so the result is
+  // identical at any thread count.
+  result.records.resize(selected.size());
+  support::parallel_for(selected.size(), base.threads, [&](size_t i) {
+    const size_t scenario_ix = selected[i];
+    const hw::FaultPlan& plan = matrix[scenario_ix];
+
+    FaultRecord rec;
+    rec.scenario_index = scenario_ix;
+    rec.plan = plan;
+
+    hw::IoBus bus;
+    auto dev = device_pool.acquire();
+    auto shim = std::make_shared<hw::FaultInjector>(dev, base.device.port_base,
+                                                    plan);
+    bus.map(base.device.port_base, base.device.port_span, shim);
+    auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
+                               base.engine);
+    if (run.fault == minic::FaultKind::kInternal) {
+      throw std::logic_error(who + "interpreter bug under fault [" +
+                             plan.describe() + "]: " + run.fault_message);
+    }
+    rec.triggered = shim->fired() > 0;
+    if (run.fault != minic::FaultKind::kNone) {
+      rec.outcome = classify_run_fault(run.fault);
+      rec.detail = run.fault_message;
+    } else if (dev->damaged() ||
+               run.return_value != result.clean_fingerprint) {
+      rec.outcome = FaultOutcome::kCorruptBoot;
+      rec.detail = dev->damaged() ? dev->damage_note()
+                                  : "wrong boot fingerprint";
+    } else {
+      rec.outcome = FaultOutcome::kCleanBoot;
+    }
+    if (!rec.triggered && rec.outcome != FaultOutcome::kCleanBoot) {
+      // An unfired fault cannot have changed the traffic; any non-clean
+      // outcome here means the shim miscounted or the boot is flaky.
+      throw std::logic_error(who + "scenario [" + plan.describe() +
+                             "] never triggered yet boot was not clean (" +
+                             fault_outcome_short(rec.outcome) + ")");
+    }
+    // Drop the bus mapping and the shim before recycling the device (the
+    // pool requires the caller to hold the only reference).
+    bus = hw::IoBus();
+    shim.reset();
+    device_pool.release(std::move(dev));
+    result.records[i] = std::move(rec);
+  });
+
+  for (const FaultRecord& rec : result.records) {
+    result.tally.add(rec.outcome, rec.plan.port);
+    if (rec.triggered) ++result.triggered_scenarios;
+  }
+  return result;
+}
+
+}  // namespace eval

@@ -162,6 +162,83 @@ DriverCampaignResult merge_shard_artifacts(
   return merged;
 }
 
+FaultCampaignResult merge_fault_artifacts(
+    const std::vector<std::pair<unsigned, const FaultShardArtifact*>>& shards) {
+  if (shards.empty()) fail("no shard artifacts to merge");
+
+  const FaultShardArtifact& first = *shards.front().second;
+  const std::string name = first.device + "/" + first.label;
+  const unsigned count = static_cast<unsigned>(shards.size());
+
+  for (const auto& [index, artifact] : shards) {
+    if (artifact->fingerprint != first.fingerprint) {
+      fail("config fingerprint mismatch for fault campaign " + name +
+           ": shard " + std::to_string(index) + " ran " +
+           artifact->fingerprint + ", shard " +
+           std::to_string(shards.front().first) + " ran " + first.fingerprint +
+           " — these artifacts are from different campaign configurations "
+           "and cannot be merged");
+    }
+    if (artifact->device != first.device || artifact->label != first.label ||
+        artifact->entry != first.entry ||
+        artifact->total_scenarios != first.total_scenarios ||
+        artifact->sample_size != first.sample_size ||
+        artifact->clean_fingerprint != first.clean_fingerprint) {
+      fail("shard " + std::to_string(index) + " of fault campaign " + name +
+           " disagrees with shard " + std::to_string(shards.front().first) +
+           " on campaign metadata despite equal fingerprints (corrupt "
+           "artifact?)");
+    }
+  }
+
+  std::vector<std::pair<unsigned, const FaultShardArtifact*>> ordered = shards;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    std::vector<unsigned> indices;
+    indices.reserve(ordered.size());
+    for (const auto& [index, artifact] : ordered) {
+      (void)artifact;
+      indices.push_back(index);
+    }
+    check_index_coverage(indices, count, " in fault campaign " + name);
+  }
+
+  for (const auto& [index, artifact] : ordered) {
+    auto [lo, hi] = sample_slice_bounds(first.sample_size,
+                                        SampleSlice{index - 1, count});
+    if (artifact->slice_begin != lo || artifact->slice_end != hi) {
+      fail("shard " + std::to_string(index) + "/" + std::to_string(count) +
+           " of fault campaign " + name + " covers sample positions [" +
+           std::to_string(artifact->slice_begin) + ", " +
+           std::to_string(artifact->slice_end) + ") but the " +
+           std::to_string(count) + "-way split of " +
+           std::to_string(first.sample_size) + " sampled scenarios expects [" +
+           std::to_string(lo) + ", " + std::to_string(hi) + ")");
+    }
+  }
+
+  FaultCampaignResult merged;
+  merged.device = first.device;
+  merged.entry = first.entry;
+  merged.total_scenarios = first.total_scenarios;
+  merged.sampled_scenarios = first.sample_size;
+  merged.clean_fingerprint = first.clean_fingerprint;
+  merged.records.reserve(first.sample_size);
+  // Concatenating in shard order restores sample order; fault scenarios
+  // are never deduped, so no flags or counters need rewriting.
+  for (const auto& [index, artifact] : ordered) {
+    (void)index;
+    merged.records.insert(merged.records.end(), artifact->records.begin(),
+                          artifact->records.end());
+  }
+  for (const FaultRecord& rec : merged.records) {
+    merged.tally.add(rec.outcome, rec.plan.port);
+    if (rec.triggered) ++merged.triggered_scenarios;
+  }
+  return merged;
+}
+
 std::vector<MergedCampaign> merge_shard_bundles(
     const std::vector<ShardBundle>& bundles) {
   if (bundles.empty()) fail("no shard artifacts to merge");
@@ -223,6 +300,74 @@ std::vector<MergedCampaign> merge_shard_bundles(
     m.device = reference[j].device;
     m.label = reference[j].label;
     m.result = merge_shard_artifacts(shards);
+    merged.push_back(std::move(m));
+  }
+  return merged;
+}
+
+std::vector<MergedFaultCampaign> merge_fault_bundles(
+    const std::vector<ShardBundle>& bundles) {
+  if (bundles.empty()) fail("no shard artifacts to merge");
+
+  const unsigned count = bundles.front().shard.count;
+  std::vector<std::pair<unsigned, const ShardBundle*>> indexed;
+  indexed.reserve(bundles.size());
+  for (const ShardBundle& b : bundles) {
+    if (b.shard.count != count) {
+      fail("shard count mismatch: got artifacts from a " +
+           std::to_string(count) + "-way and a " +
+           std::to_string(b.shard.count) + "-way sharding");
+    }
+    indexed.emplace_back(b.shard.index, &b);
+  }
+  std::sort(indexed.begin(), indexed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    std::vector<unsigned> indices;
+    indices.reserve(indexed.size());
+    for (const auto& [index, bundle] : indexed) {
+      (void)bundle;
+      indices.push_back(index);
+    }
+    check_index_coverage(indices, count, "");
+  }
+
+  const std::vector<FaultShardArtifact>& reference =
+      indexed.front().second->fault_campaigns;
+  for (const auto& [index, bundle] : indexed) {
+    if (bundle->fault_campaigns.size() != reference.size()) {
+      fail("shard " + std::to_string(index) + " carries " +
+           std::to_string(bundle->fault_campaigns.size()) +
+           " fault campaigns but shard " +
+           std::to_string(indexed.front().first) + " carries " +
+           std::to_string(reference.size()));
+    }
+    for (size_t j = 0; j < reference.size(); ++j) {
+      if (bundle->fault_campaigns[j].device != reference[j].device ||
+          bundle->fault_campaigns[j].label != reference[j].label) {
+        fail("shard " + std::to_string(index) + " fault campaign #" +
+             std::to_string(j) + " is " +
+             bundle->fault_campaigns[j].device + "/" +
+             bundle->fault_campaigns[j].label + " but shard " +
+             std::to_string(indexed.front().first) + " ran " +
+             reference[j].device + "/" + reference[j].label +
+             " in that position");
+      }
+    }
+  }
+
+  std::vector<MergedFaultCampaign> merged;
+  merged.reserve(reference.size());
+  for (size_t j = 0; j < reference.size(); ++j) {
+    std::vector<std::pair<unsigned, const FaultShardArtifact*>> shards;
+    shards.reserve(indexed.size());
+    for (const auto& [index, bundle] : indexed) {
+      shards.emplace_back(index, &bundle->fault_campaigns[j]);
+    }
+    MergedFaultCampaign m;
+    m.device = reference[j].device;
+    m.label = reference[j].label;
+    m.result = merge_fault_artifacts(shards);
     merged.push_back(std::move(m));
   }
   return merged;

@@ -49,4 +49,26 @@ struct MergedCampaign {
 [[nodiscard]] std::vector<MergedCampaign> merge_shard_bundles(
     const std::vector<ShardBundle>& bundles);
 
+/// One fault campaign reassembled from all its shards.
+struct MergedFaultCampaign {
+  std::string device;
+  std::string label;  // "C" / "CDevil" (FaultShardArtifact::label)
+  FaultCampaignResult result;
+};
+
+/// Merges one fault campaign's shard artifacts, given in any order. Same
+/// validation as merge_shard_artifacts (fingerprints, index coverage,
+/// canonical slice tiling, metadata agreement); fault scenarios are never
+/// deduped, so the merge is a straight concatenation in shard order with
+/// the tally and triggered count recomputed.
+[[nodiscard]] FaultCampaignResult merge_fault_artifacts(
+    const std::vector<std::pair<unsigned, const FaultShardArtifact*>>& shards);
+
+/// Merges the fault campaigns of whole bundles, mirroring
+/// merge_shard_bundles: same shard-coordinate validation, every bundle must
+/// carry the same fault-campaign list (device/label, in order). Bundles
+/// without fault campaigns merge to an empty list.
+[[nodiscard]] std::vector<MergedFaultCampaign> merge_fault_bundles(
+    const std::vector<ShardBundle>& bundles);
+
 }  // namespace eval

@@ -1,5 +1,6 @@
 #include "eval/report.h"
 
+#include <set>
 #include <sstream>
 
 #include "support/table.h"
@@ -112,6 +113,107 @@ std::string render_campaign_tables(const DriverCampaignResult& c_result,
      << render_driver_table("Table 4: CDevil driver" + tag(d_result),
                             d_result)
      << "\n" << render_comparison(c_result, d_result);
+  return os.str();
+}
+
+namespace {
+void add_fault_row(support::TextTable& t, const FaultCampaignResult& r,
+                   FaultOutcome o) {
+  t.add_row({fault_outcome_name(o), std::to_string(r.tally.ports_of(o)),
+             std::to_string(r.tally.scenarios_of(o)),
+             support::percent(r.tally.scenarios_of(o), r.sampled_scenarios)});
+}
+}  // namespace
+
+std::string render_fault_table(const std::string& title,
+                               const FaultCampaignResult& r) {
+  std::ostringstream os;
+  os << title << "\n";
+  support::TextTable t({"", "Number of ports", "Number of scenarios",
+                        "Concerned scenarios / total nb. of scenarios"});
+  if (r.tally.scenarios_of(FaultOutcome::kDevilCheck) > 0) {
+    add_fault_row(t, r, FaultOutcome::kDevilCheck);
+  }
+  add_fault_row(t, r, FaultOutcome::kDriverPanic);
+  add_fault_row(t, r, FaultOutcome::kCrash);
+  add_fault_row(t, r, FaultOutcome::kHang);
+  add_fault_row(t, r, FaultOutcome::kCorruptBoot);
+  add_fault_row(t, r, FaultOutcome::kCleanBoot);
+  t.add_separator();
+  std::set<uint32_t> all_ports;
+  for (const auto& [outcome, ports] : r.tally.ports) {
+    all_ports.insert(ports.begin(), ports.end());
+  }
+  t.add_row({"Total", std::to_string(all_ports.size()),
+             std::to_string(r.sampled_scenarios), "N/A"});
+  os << t.render();
+  os << "(" << r.total_scenarios << " scenarios generated, "
+     << r.sampled_scenarios << " sampled for testing, "
+     << r.triggered_scenarios << " triggered the fault";
+  if (!r.device.empty()) os << ", device " << r.device;
+  if (!r.entry.empty()) os << ", entry " << r.entry;
+  os << ")\n";
+  return os.str();
+}
+
+std::string render_fault_comparison(const FaultCampaignResult& c_result,
+                                    const FaultCampaignResult& d_result) {
+  auto pct = [](size_t n, size_t d) {
+    return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                              static_cast<double>(d);
+  };
+  double c_detected = pct(c_result.tally.detected(),
+                          c_result.sampled_scenarios);
+  double d_detected = pct(d_result.tally.detected(),
+                          d_result.sampled_scenarios);
+  double c_silent = pct(c_result.tally.scenarios_of(FaultOutcome::kCorruptBoot),
+                        c_result.sampled_scenarios);
+  double d_silent = pct(d_result.tally.scenarios_of(FaultOutcome::kCorruptBoot),
+                        d_result.sampled_scenarios);
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  if (!c_result.device.empty() || !d_result.device.empty()) {
+    os << "Device under test: " << c_result.device;
+    if (d_result.device != c_result.device) {
+      os << " (C) vs " << d_result.device << " (CDevil)";
+    }
+    os << "\n";
+  }
+  os << "Injected hardware faults detected (Devil check or driver panic):\n";
+  os << "  original C driver : " << c_detected << " %\n";
+  os << "  Devil (CDevil)    : " << d_detected << " %";
+  if (c_detected > 0) {
+    os << "   (" << (d_detected / c_detected) << "x more faults detected)";
+  }
+  os << "\n";
+  os << "Silent corrupt boots (the worst case for the developer):\n";
+  os << "  original C driver : " << c_silent << " %\n";
+  os << "  Devil (CDevil)    : " << d_silent << " %";
+  if (d_silent > 0) {
+    os << "   (" << (c_silent / d_silent) << "x fewer silent corruptions)";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string render_fault_tables(const FaultCampaignResult& c_result,
+                                const FaultCampaignResult& d_result) {
+  auto tag = [](const FaultCampaignResult& r) {
+    return r.device.empty() ? std::string() : " (" + r.device + ")";
+  };
+  std::ostringstream os;
+  os << render_fault_table(
+            "Table F3: original C driver under injected hardware faults" +
+                tag(c_result),
+            c_result)
+     << "\n"
+     << render_fault_table(
+            "Table F4: CDevil driver under injected hardware faults" +
+                tag(d_result),
+            d_result)
+     << "\n" << render_fault_comparison(c_result, d_result);
   return os.str();
 }
 

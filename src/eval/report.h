@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "eval/driver_campaign.h"
+#include "eval/fault_campaign.h"
 #include "eval/spec_campaign.h"
 
 namespace eval {
@@ -33,5 +34,25 @@ namespace eval {
 [[nodiscard]] std::string render_campaign_tables(
     const DriverCampaignResult& c_result,
     const DriverCampaignResult& cdevil_result);
+
+/// Tables-3/4-shaped table for one fault-injection campaign: a detection
+/// line (Devil checks only shown when any fired, mirroring the run-time
+/// check row), the failure behaviours, then totals. The footer names the
+/// scenario counts and the device binding.
+[[nodiscard]] std::string render_fault_table(const std::string& title,
+                                             const FaultCampaignResult& result);
+
+/// Headline comparison of the two fault campaigns: detected fraction
+/// (Devil check or driver panic) and the silent corrupt-boot fraction (the
+/// worst case for the developer — the system limps on with bad hardware).
+[[nodiscard]] std::string render_fault_comparison(
+    const FaultCampaignResult& c_result,
+    const FaultCampaignResult& cdevil_result);
+
+/// One device's full fault-injection evaluation: Table F3 (original C
+/// driver), Table F4 (CDevil driver) and the comparison.
+[[nodiscard]] std::string render_fault_tables(
+    const FaultCampaignResult& c_result,
+    const FaultCampaignResult& cdevil_result);
 
 }  // namespace eval

@@ -1,5 +1,8 @@
 #include "eval/shard.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +30,34 @@ Outcome outcome_from_short(const std::string& name, const std::string& ctx) {
     if (name == outcome_short(o)) return o;
   }
   throw std::runtime_error(ctx + ": unknown outcome '" + name + "'");
+}
+
+constexpr FaultOutcome kAllFaultOutcomes[] = {
+    FaultOutcome::kDevilCheck, FaultOutcome::kDriverPanic,
+    FaultOutcome::kCrash,      FaultOutcome::kHang,
+    FaultOutcome::kCorruptBoot, FaultOutcome::kCleanBoot,
+};
+
+FaultOutcome fault_outcome_from_short(const std::string& name,
+                                      const std::string& ctx) {
+  for (FaultOutcome o : kAllFaultOutcomes) {
+    if (name == fault_outcome_short(o)) return o;
+  }
+  throw std::runtime_error(ctx + ": unknown fault outcome '" + name + "'");
+}
+
+constexpr hw::FaultKind kAllFaultKinds[] = {
+    hw::FaultKind::kStuckZero,   hw::FaultKind::kStuckOne,
+    hw::FaultKind::kFlipOnce,    hw::FaultKind::kDropWrite,
+    hw::FaultKind::kFloatingBus, hw::FaultKind::kNeverReady,
+};
+
+hw::FaultKind fault_kind_from_short(const std::string& name,
+                                    const std::string& ctx) {
+  for (hw::FaultKind k : kAllFaultKinds) {
+    if (name == hw::fault_kind_name(k)) return k;
+  }
+  throw std::runtime_error(ctx + ": unknown fault kind '" + name + "'");
 }
 
 bool all_digits(const std::string& s) {
@@ -88,6 +119,12 @@ const std::string& require_string(const support::JsonValue& obj,
 bool optional_flag(const support::JsonValue& obj, const char* key) {
   const support::JsonValue* v = obj.find(key);
   return v != nullptr && v->as_bool();
+}
+
+/// Reads an optional non-negative integer that the writer omits when zero.
+size_t optional_size(const support::JsonValue& obj, const char* key,
+                     const std::string& ctx) {
+  return obj.find(key) ? require_size(obj, key, ctx) : 0;
 }
 
 }  // namespace
@@ -181,6 +218,47 @@ ShardArtifact run_campaign_shard(const DriverCampaignConfig& config,
   return a;
 }
 
+std::string fault_campaign_fingerprint(const FaultCampaignConfig& config) {
+  support::Fnv128 h;
+  // Version tag first, then the full mutation-campaign fingerprint: it
+  // already pins the driver, stubs, device binding, entry, seed, step
+  // budget and engine; the fault knobs follow.
+  h.update_field("devil-repro-fault-campaign-v1");
+  h.update_field(campaign_fingerprint(config.base));
+  h.update_u64(config.sample_percent);
+  h.update_u64(config.triggers.size());
+  for (uint32_t t : config.triggers) h.update_u64(t);
+  return h.hex();
+}
+
+FaultShardArtifact run_fault_campaign_shard(const FaultCampaignConfig& config,
+                                            const std::string& label,
+                                            ShardSpec spec) {
+  if (spec.count == 0 || spec.index == 0 || spec.index > spec.count) {
+    throw std::invalid_argument("bad shard spec " + spec.to_string() +
+                                ": shard index is 1-based and must be between "
+                                "1 and the shard count");
+  }
+  CampaignSideband side;
+  FaultCampaignResult res = run_fault_campaign_slice(
+      config, SampleSlice{spec.index - 1, spec.count}, &side);
+
+  FaultShardArtifact a;
+  a.device = res.device;
+  a.label = label;
+  a.entry = res.entry;
+  a.fingerprint = fault_campaign_fingerprint(config);
+  a.total_scenarios = res.total_scenarios;
+  a.sample_size = side.sample_size;
+  a.slice_begin = side.slice_begin;
+  a.slice_end = side.slice_end;
+  a.clean_fingerprint = res.clean_fingerprint;
+  a.triggered = res.triggered_scenarios;
+  a.tally = res.tally;
+  a.records = std::move(res.records);
+  return a;
+}
+
 // --- serialization -----------------------------------------------------------
 
 std::string serialize_shard_bundle(const ShardBundle& bundle) {
@@ -234,6 +312,52 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
     campaigns.push_back(std::move(c));
   }
   root.set("campaigns", std::move(campaigns));
+
+  // Fault campaigns ride in their own section, present only when a
+  // `--faults` run produced any — plain mutation bundles keep their exact
+  // pre-fault serialized form.
+  if (!bundle.fault_campaigns.empty()) {
+    JsonValue fault_campaigns = JsonValue::array();
+    for (const FaultShardArtifact& a : bundle.fault_campaigns) {
+      JsonValue c = JsonValue::object();
+      c.set("device", a.device);
+      c.set("label", a.label);
+      c.set("entry", a.entry);
+      c.set("fingerprint", a.fingerprint);
+      c.set("total_scenarios", a.total_scenarios);
+      c.set("sample_size", a.sample_size);
+      c.set("slice_begin", a.slice_begin);
+      c.set("slice_end", a.slice_end);
+      c.set("clean_fingerprint", a.clean_fingerprint);
+      c.set("triggered", a.triggered);
+
+      JsonValue tally = JsonValue::object();
+      for (const auto& [outcome, count] : a.tally.scenarios) {
+        if (count > 0) tally.set(fault_outcome_short(outcome), count);
+      }
+      c.set("tally", std::move(tally));
+
+      JsonValue records = JsonValue::array();
+      for (const FaultRecord& r : a.records) {
+        JsonValue rec = JsonValue::object();
+        rec.set("scenario", r.scenario_index);
+        rec.set("port", static_cast<int64_t>(r.plan.port));
+        rec.set("kind", hw::fault_kind_name(r.plan.kind));
+        rec.set("after", static_cast<int64_t>(r.plan.after));
+        if (r.plan.mask != 0) rec.set("mask", static_cast<int64_t>(r.plan.mask));
+        if (r.plan.value != 0) {
+          rec.set("value", static_cast<int64_t>(r.plan.value));
+        }
+        rec.set("outcome", fault_outcome_short(r.outcome));
+        if (!r.detail.empty()) rec.set("detail", r.detail);
+        if (r.triggered) rec.set("triggered", true);
+        records.push_back(std::move(rec));
+      }
+      c.set("records", std::move(records));
+      fault_campaigns.push_back(std::move(c));
+    }
+    root.set("fault_campaigns", std::move(fault_campaigns));
+  }
   return to_json(root);
 }
 
@@ -332,6 +456,98 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
   return a;
 }
 
+FaultShardArtifact parse_fault_artifact(const support::JsonValue& c,
+                                        size_t position) {
+  std::string ctx = "fault campaign #" + std::to_string(position);
+  FaultShardArtifact a;
+  a.device = require_string(c, "device", ctx);
+  a.label = require_string(c, "label", ctx);
+  ctx = "fault campaign " + a.device + "/" + a.label;
+  a.entry = require_string(c, "entry", ctx);
+  a.fingerprint = require_string(c, "fingerprint", ctx);
+  a.total_scenarios = require_size(c, "total_scenarios", ctx);
+  a.sample_size = require_size(c, "sample_size", ctx);
+  a.slice_begin = require_size(c, "slice_begin", ctx);
+  a.slice_end = require_size(c, "slice_end", ctx);
+  a.clean_fingerprint = require(c, "clean_fingerprint", ctx).as_int();
+  a.triggered = require_size(c, "triggered", ctx);
+
+  if (a.sample_size > a.total_scenarios) {
+    throw std::runtime_error(ctx + ": sample of " +
+                             std::to_string(a.sample_size) +
+                             " exceeds the generated matrix of " +
+                             std::to_string(a.total_scenarios));
+  }
+  if (a.slice_begin > a.slice_end || a.slice_end > a.sample_size) {
+    throw std::runtime_error(ctx + ": slice [" +
+                             std::to_string(a.slice_begin) + ", " +
+                             std::to_string(a.slice_end) +
+                             ") does not fit the sample of " +
+                             std::to_string(a.sample_size));
+  }
+
+  const auto& records = require(c, "records", ctx).items();
+  if (records.size() != a.slice_end - a.slice_begin) {
+    throw std::runtime_error(
+        ctx + ": " + std::to_string(records.size()) +
+        " records do not fill the slice of " +
+        std::to_string(a.slice_end - a.slice_begin) +
+        " (truncated artifact?)");
+  }
+  a.records.reserve(records.size());
+  size_t triggered = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::string rctx = ctx + " record #" + std::to_string(i);
+    const support::JsonValue& rj = records[i];
+    FaultRecord r;
+    r.scenario_index = require_size(rj, "scenario", rctx);
+    r.plan.port = static_cast<uint32_t>(require_size(rj, "port", rctx));
+    r.plan.kind =
+        fault_kind_from_short(require_string(rj, "kind", rctx), rctx);
+    r.plan.after = static_cast<uint32_t>(require_size(rj, "after", rctx));
+    r.plan.mask = static_cast<uint32_t>(optional_size(rj, "mask", rctx));
+    r.plan.value = static_cast<uint32_t>(optional_size(rj, "value", rctx));
+    r.outcome =
+        fault_outcome_from_short(require_string(rj, "outcome", rctx), rctx);
+    if (const support::JsonValue* detail = rj.find("detail")) {
+      r.detail = detail->as_string();
+    }
+    r.triggered = optional_flag(rj, "triggered");
+    if (!r.triggered && r.outcome != FaultOutcome::kCleanBoot) {
+      throw std::runtime_error(rctx + ": untriggered scenario with outcome '" +
+                               fault_outcome_short(r.outcome) +
+                               "' (corrupt artifact?)");
+    }
+    triggered += r.triggered ? 1 : 0;
+    a.records.push_back(std::move(r));
+  }
+
+  if (triggered != a.triggered) {
+    throw std::runtime_error(ctx + ": triggered says " +
+                             std::to_string(a.triggered) +
+                             " but the records carry " +
+                             std::to_string(triggered) +
+                             " (corrupt artifact?)");
+  }
+  for (const FaultRecord& r : a.records) {
+    a.tally.add(r.outcome, r.plan.port);
+  }
+  const auto& stored = require(c, "tally", ctx);
+  for (FaultOutcome o : kAllFaultOutcomes) {
+    const support::JsonValue* v = stored.find(fault_outcome_short(o));
+    size_t stored_count =
+        v ? require_size(stored, fault_outcome_short(o), ctx) : 0;
+    if (stored_count != a.tally.scenarios_of(o)) {
+      throw std::runtime_error(
+          ctx + ": tally['" + std::string(fault_outcome_short(o)) +
+          "'] says " + std::to_string(stored_count) +
+          " but the records tally " + std::to_string(a.tally.scenarios_of(o)) +
+          " (corrupt artifact?)");
+    }
+  }
+  return a;
+}
+
 }  // namespace
 
 ShardBundle parse_shard_bundle(const std::string& text) {
@@ -373,6 +589,14 @@ ShardBundle parse_shard_bundle(const std::string& text) {
     for (size_t i = 0; i < campaigns.size(); ++i) {
       bundle.campaigns.push_back(parse_artifact(campaigns[i], i));
     }
+    if (const support::JsonValue* fc = root.find("fault_campaigns")) {
+      const auto& fault_campaigns = fc->items();
+      bundle.fault_campaigns.reserve(fault_campaigns.size());
+      for (size_t i = 0; i < fault_campaigns.size(); ++i) {
+        bundle.fault_campaigns.push_back(
+            parse_fault_artifact(fault_campaigns[i], i));
+      }
+    }
     return bundle;
   } catch (const support::JsonError& e) {
     // Type errors from as_int()/as_string() on present-but-wrong fields.
@@ -382,15 +606,32 @@ ShardBundle parse_shard_bundle(const std::string& text) {
 }
 
 void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error(path + ": cannot open for writing");
+  // Atomic write: serialize to `<path>.tmp`, rename over `path` only after
+  // a successful flush+close. A crash, full disk or unwritable directory
+  // never leaves a partial artifact at `path` (and never clobbers a good
+  // one already there); failures remove the temporary and throw.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ArtifactWriteError(tmp + ": cannot open for writing (does the "
+                               "directory exist and allow writes?)");
+    }
+    std::string text = serialize_shard_bundle(bundle);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.put('\n');
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw ArtifactWriteError(tmp + ": write failed (disk full?)");
+    }
   }
-  std::string text = serialize_shard_bundle(bundle);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.put('\n');
-  if (!out.flush()) {
-    throw std::runtime_error(path + ": write failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    std::remove(tmp.c_str());
+    throw ArtifactWriteError(path + ": cannot rename temporary artifact into "
+                             "place: " + why);
   }
 }
 

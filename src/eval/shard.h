@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "eval/driver_campaign.h"
+#include "eval/fault_campaign.h"
 
 namespace eval {
 
@@ -77,11 +79,37 @@ struct ShardArtifact {
   std::vector<ShardRecord> records;
 };
 
+/// One fault-injection campaign's shard slice (eval/fault_campaign.h), as
+/// serialized. Mirrors ShardArtifact: `fingerprint` pins the fault-campaign
+/// configuration (fault_campaign_fingerprint), tallies and the triggered
+/// count are shard-local, and the merge recomputes the global ones. Fault
+/// scenarios are never deduped, so there is no sideband beyond the records.
+struct FaultShardArtifact {
+  std::string device;
+  std::string label;
+  std::string entry;
+  std::string fingerprint;
+
+  size_t total_scenarios = 0;  // full matrix, before sampling
+  size_t sample_size = 0;      // sampled scenarios, before slicing
+  size_t slice_begin = 0;      // this shard's range, in sample positions
+  size_t slice_end = 0;
+  int64_t clean_fingerprint = 0;
+
+  size_t triggered = 0;  // shard-local: records whose fault fired
+  FaultTally tally;      // shard-local, over `records`
+
+  std::vector<FaultRecord> records;
+};
+
 /// A serialized shard file: the shard coordinates plus one artifact per
 /// campaign the process ran (the CLI writes C and CDevil per device).
+/// `fault_campaigns` is populated by `--faults` runs; mutation-campaign
+/// bundles leave it empty and their serialized form is unchanged.
 struct ShardBundle {
   ShardSpec shard;
   std::vector<ShardArtifact> campaigns;
+  std::vector<FaultShardArtifact> fault_campaigns;
 };
 
 /// Fingerprint of everything in `config` that determines campaign results
@@ -97,6 +125,20 @@ struct ShardBundle {
     const DriverCampaignConfig& config, const std::string& label,
     ShardSpec spec);
 
+/// Fingerprint of everything in a fault-campaign config that determines
+/// records and counters: the embedded campaign fingerprint (driver, stubs,
+/// device, entry, seed, step budget, engine, ...) plus the fault knobs
+/// (trigger list, scenario sample percent). 32 hex chars.
+[[nodiscard]] std::string fault_campaign_fingerprint(
+    const FaultCampaignConfig& config);
+
+/// Runs slice `spec` of the fault campaign and packages the artifact
+/// (kernel: run_fault_campaign_slice — same byte-identity guarantees as
+/// run_campaign_shard).
+[[nodiscard]] FaultShardArtifact run_fault_campaign_shard(
+    const FaultCampaignConfig& config, const std::string& label,
+    ShardSpec spec);
+
 /// JSON round trip. serialize is byte-stable (equal bundles yield equal
 /// bytes); parse validates the format tag, version and every field's
 /// presence and type, recomputes the per-artifact tally/counters from the
@@ -105,8 +147,21 @@ struct ShardBundle {
 [[nodiscard]] std::string serialize_shard_bundle(const ShardBundle& bundle);
 [[nodiscard]] ShardBundle parse_shard_bundle(const std::string& text);
 
-/// File convenience wrappers; errors (IO or parse) throw std::runtime_error
-/// prefixed with the path.
+/// Thrown when a shard artifact cannot be written (unwritable directory,
+/// full disk, rename failure). The CLI maps it to exit code 2; the message
+/// names the path and the failing step. The target file is never left
+/// partially written: writes go to `<path>.tmp` and the temporary is
+/// removed on failure.
+class ArtifactWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// File convenience wrappers. save is atomic: the bundle is written to
+/// `<path>.tmp` and renamed over `path` only after a successful flush, so a
+/// crash or full disk never leaves a partial or lost artifact; write
+/// failures throw ArtifactWriteError. load/parse errors throw
+/// std::runtime_error prefixed with the path.
 void save_shard_bundle(const std::string& path, const ShardBundle& bundle);
 [[nodiscard]] ShardBundle load_shard_bundle(const std::string& path);
 

@@ -1,0 +1,97 @@
+#include "hw/fault_injection.h"
+
+#include <sstream>
+#include <utility>
+
+namespace hw {
+
+namespace {
+
+/// All-ones for the access width — what an unterminated ISA bus reads as
+/// (io_bus.cc models unmapped ports the same way).
+uint32_t width_ones(int width) {
+  return width >= 32 ? 0xffffffffu : (1u << width) - 1u;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStuckZero: return "stuck0";
+    case FaultKind::kStuckOne: return "stuck1";
+    case FaultKind::kFlipOnce: return "flip";
+    case FaultKind::kDropWrite: return "drop-write";
+    case FaultKind::kFloatingBus: return "floating";
+    case FaultKind::kNeverReady: return "never-ready";
+  }
+  return "?";
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind);
+  if (kind == FaultKind::kStuckZero || kind == FaultKind::kStuckOne ||
+      kind == FaultKind::kFlipOnce) {
+    os << " mask 0x" << std::hex << mask << std::dec;
+  }
+  if (kind == FaultKind::kNeverReady) {
+    os << " value 0x" << std::hex << value << std::dec;
+  }
+  os << " at port 0x" << std::hex << port << std::dec << " after " << after;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(std::shared_ptr<Device> inner, uint32_t port_base,
+                             FaultPlan plan)
+    : inner_(std::move(inner)), port_base_(port_base), plan_(plan) {}
+
+uint32_t FaultInjector::read(uint32_t offset, int width) {
+  if (!plan_.is_read_fault() || port_base_ + offset != plan_.port) {
+    return inner_->read(offset, width);
+  }
+  const uint64_t seq = matched_++;  // 0-based index of this matching read
+  if (seq < plan_.after) return inner_->read(offset, width);
+  switch (plan_.kind) {
+    case FaultKind::kStuckZero:
+      ++fired_;
+      return inner_->read(offset, width) & ~plan_.mask;
+    case FaultKind::kStuckOne:
+      ++fired_;
+      return (inner_->read(offset, width) | plan_.mask) & width_ones(width);
+    case FaultKind::kFlipOnce:
+      if (seq > plan_.after) return inner_->read(offset, width);
+      ++fired_;
+      return (inner_->read(offset, width) ^ plan_.mask) & width_ones(width);
+    case FaultKind::kFloatingBus:
+      // The card is gone: the device must not see the read (no side
+      // effects, e.g. no index-selected data rotation, no BSY countdown).
+      ++fired_;
+      return width_ones(width);
+    case FaultKind::kNeverReady:
+      ++fired_;
+      return plan_.value & width_ones(width);
+    case FaultKind::kDropWrite:
+      break;  // unreachable: is_read_fault() excluded it
+  }
+  return inner_->read(offset, width);
+}
+
+void FaultInjector::write(uint32_t offset, uint32_t value, int width) {
+  if (plan_.kind == FaultKind::kDropWrite &&
+      port_base_ + offset == plan_.port) {
+    const uint64_t seq = matched_++;
+    if (seq == plan_.after) {
+      ++fired_;  // this one write is lost on the bus
+      return;
+    }
+  }
+  inner_->write(offset, value, width);
+}
+
+void FaultInjector::reset() {
+  inner_->reset();
+  matched_ = 0;
+  fired_ = 0;
+}
+
+}  // namespace hw

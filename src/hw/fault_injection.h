@@ -1,0 +1,104 @@
+// Deterministic hardware fault injection on the simulated I/O port bus.
+//
+// The mutation campaigns hold the hardware fixed and perturb the driver;
+// this layer runs the dual experiment: the driver stays clean and the
+// *device* misbehaves. A `FaultPlan` describes one scenario — which port is
+// faulty, what kind of fault, and on which matching access it arms — and a
+// `FaultInjector` wraps any `hw::Device` behind the same `hw::IoBus`
+// interface, so both execution engines (bytecode VM and tree walker)
+// observe identical faulted traffic with zero engine-specific code.
+//
+// Everything is counter-triggered and state-free beyond the counters, so a
+// scenario is exactly reproducible: the k-th matching access faults, every
+// run, on every engine, at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/io_bus.h"
+
+namespace hw {
+
+/// The modelled hardware misbehaviours. Read faults tamper with (or bypass)
+/// device reads; `kDropWrite` is the only write-side fault.
+enum class FaultKind {
+  kStuckZero,    // masked bits read as 0 from the trigger onward
+  kStuckOne,     // masked bits read as 1 from the trigger onward
+  kFlipOnce,     // masked bits invert on exactly the trigger-th read
+  kDropWrite,    // exactly the trigger-th write to the port is lost
+  kFloatingBus,  // reads float high (all ones) from the trigger onward;
+                 // the device is no longer consulted (unplugged card)
+  kNeverReady,   // reads return a frozen constant from the trigger onward;
+                 // the device is no longer consulted (wedged status)
+};
+
+/// Short stable name used in artifacts and reports ("stuck0", "flip", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// One fault scenario. `after` counts matching-direction accesses to `port`
+/// that pass through unfaulted before the fault arms: `after == 0` faults
+/// the first matching access, `after == 2` the third. For the persistent
+/// kinds (stuck bits, floating bus, never-ready) every later matching
+/// access stays faulted; `kFlipOnce` and `kDropWrite` hit exactly one.
+struct FaultPlan {
+  uint32_t port = 0;
+  FaultKind kind = FaultKind::kStuckZero;
+  uint32_t after = 0;
+  /// Bit mask for the stuck/flip kinds; ignored by the others.
+  uint32_t mask = 0;
+  /// Frozen read value for kNeverReady; ignored by the others.
+  uint32_t value = 0;
+
+  /// True for every kind that tampers with reads (all but kDropWrite).
+  [[nodiscard]] bool is_read_fault() const {
+    return kind != FaultKind::kDropWrite;
+  }
+
+  /// Human-readable one-liner ("stuck1 mask 0x80 at port 0x1f7 after 2").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Injection shim: a `Device` that forwards to the wrapped device except
+/// where the plan says otherwise. Map the injector on the bus in place of
+/// the device it wraps (same base, same span); register offsets pass
+/// through unchanged, so the wrapped model never knows it is shimmed.
+///
+/// `name`/`damaged`/`damage_note` forward to the wrapped device, so damage
+/// reports look identical with and without the shim. `reset()` forwards and
+/// re-arms the counters, which keeps a shimmed device recyclable through
+/// `hw::DevicePool` exactly like a bare one.
+class FaultInjector final : public Device {
+ public:
+  /// `port_base` is the bus base the injector will be mapped at; it turns
+  /// the relative offsets of read/write back into absolute ports so plans
+  /// can name ports the way the CLI and reports do.
+  FaultInjector(std::shared_ptr<Device> inner, uint32_t port_base,
+                FaultPlan plan);
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;
+  [[nodiscard]] bool damaged() const override { return inner_->damaged(); }
+  [[nodiscard]] std::string damage_note() const override {
+    return inner_->damage_note();
+  }
+
+  /// Matching-direction accesses to the target port seen so far.
+  [[nodiscard]] uint64_t matched() const { return matched_; }
+  /// Accesses actually faulted. 0 means the scenario never triggered (the
+  /// boot finished before the trigger offset was reached).
+  [[nodiscard]] uint64_t fired() const { return fired_; }
+  [[nodiscard]] const std::shared_ptr<Device>& inner() const { return inner_; }
+
+ private:
+  std::shared_ptr<Device> inner_;
+  uint32_t port_base_;
+  FaultPlan plan_;
+  uint64_t matched_ = 0;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace hw

@@ -124,4 +124,32 @@ TEST(JsonIo, DeepNestingFailsCleanlyInsteadOfOverflowing) {
   EXPECT_EQ(parse_json(ok).items().size(), 1u);
 }
 
+TEST(JsonIo, DeepNestingDiagnosticNamesLineAndColumn) {
+  // The depth diagnostic goes through the same line/column machinery as
+  // every other parse error: brackets on separate lines point past the
+  // last one the parser descended into.
+  std::string bomb;
+  for (int i = 0; i < 100'000; ++i) bomb += "[\n";
+  try {
+    (void)parse_json(bomb);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nesting too deep"), std::string::npos) << what;
+    // The parser descends through kMaxDepth (200) brackets, each on its own
+    // line, and refuses the next value — at the start of line 201.
+    EXPECT_NE(what.find("line 201, column 1"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonIo, TruncatedMidEscapeFailsCleanly) {
+  // An artifact cut off inside a string escape (half-written file, torn
+  // download) must fail with a diagnostic, never read past the buffer or
+  // decode a partial escape.
+  expect_error_mentions("\"abc\\", "unterminated escape");
+  expect_error_mentions(R"("abc\u)", "unexpected end of \\u escape");
+  expect_error_mentions(R"("abc\u0)", "unexpected end of \\u escape");
+  expect_error_mentions(R"("abc\u00a)", "unexpected end of \\u escape");
+}
+
 }  // namespace

@@ -8,6 +8,9 @@
 // under the worker thread count inside each shard.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -425,6 +428,49 @@ TEST(ShardArtifactTest, LoadReportsMissingFile) {
     EXPECT_NE(std::string(e.what()).find("/nonexistent/shard.json"),
               std::string::npos);
   }
+}
+
+// --- atomic artifact writes ---------------------------------------------------
+//
+// save_shard_bundle writes FILE.tmp and renames it into place: a failed or
+// interrupted save must never leave a partial FILE, and must never destroy
+// a good artifact that was already there.
+
+ShardBundle tiny_bundle() {
+  ShardBundle bundle;
+  bundle.shard = ShardSpec{1, 1};
+  bundle.campaigns.push_back(eval::run_campaign_shard(
+      busmouse_c_config(), "C", bundle.shard));
+  return bundle;
+}
+
+TEST(ShardArtifactTest, SaveToUnwritablePathThrowsAndLeavesNothing) {
+  const std::string path = "/devil-repro-no-such-dir/shard.json";
+  try {
+    eval::save_shard_bundle(path, tiny_bundle());
+    FAIL() << "expected ArtifactWriteError";
+  } catch (const eval::ArtifactWriteError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open for writing"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ShardArtifactTest, SaveIsAtomicAndLeavesNoTemporary) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "devil_repro_atomic_save.json")
+          .string();
+  // A stale artifact at the target is replaced, not appended to.
+  { std::ofstream(path) << "stale garbage\n"; }
+  ShardBundle bundle = tiny_bundle();
+  eval::save_shard_bundle(path, bundle);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  ShardBundle back = eval::load_shard_bundle(path);
+  EXPECT_EQ(eval::serialize_shard_bundle(back),
+            eval::serialize_shard_bundle(bundle));
+  std::remove(path.c_str());
 }
 
 }  // namespace
