@@ -4,6 +4,7 @@
 // mutate->compile->boot->classify cycle and its parts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "corpus/drivers.h"
@@ -18,6 +19,7 @@
 #include "minic/bytecode/bytecode.h"
 #include "minic/program.h"
 #include "mutation/c_mutator.h"
+#include "support/metrics.h"
 
 namespace {
 
@@ -439,6 +441,49 @@ void BM_FaultCampaign(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FaultCampaign)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// E15 — Telemetry overhead. The busmouse C campaign with the metrics
+// collector off and on, interleaved ABAB inside each iteration so clock
+// drift cancels; `overhead_percent` compares the best run of each mode
+// (min-of-N is robust to scheduler noise). The gate (compare_bench.py,
+// run_bench.sh --check) asserts the counter stays under 2% — the collector
+// must be near-free, and the disabled path (one relaxed atomic load per
+// instrumentation point) free-er still. No mutants_per_s counter: this row
+// is gated on overhead, not throughput, and recorded baselines stay valid.
+// ---------------------------------------------------------------------------
+
+void BM_MetricsOverhead(benchmark::State& state) {
+  eval::DriverCampaignConfig cfg;
+  cfg.driver = corpus::c_busmouse_driver();
+  cfg.device = eval::busmouse_binding();
+  cfg.sample_percent = 100;
+  cfg.threads = 1;
+  auto timed_run = [&cfg](bool telemetry) {
+    support::Metrics::set_enabled(telemetry);
+    uint64_t t0 = support::monotonic_ns();
+    auto res = eval::run_driver_campaign(cfg);
+    uint64_t elapsed = support::monotonic_ns() - t0;
+    benchmark::DoNotOptimize(res.tally.total_mutants);
+    return elapsed;
+  };
+  uint64_t best_off = ~0ull, best_on = ~0ull;
+  for (auto _ : state) {
+    for (int pair = 0; pair < 2; ++pair) {
+      best_off = std::min(best_off, timed_run(false));
+      best_on = std::min(best_on, timed_run(true));
+    }
+  }
+  support::Metrics::set_enabled(false);
+  support::Metrics::reset();
+  state.counters["overhead_percent"] =
+      best_off == 0 ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(best_on) -
+                           static_cast<double>(best_off)) /
+                          static_cast<double>(best_off);
+}
+BENCHMARK(BM_MetricsOverhead)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -23,6 +23,7 @@ import json
 import sys
 
 HARD_FAIL_RATIO = 0.5  # fresh must hold at least half the baseline rate
+OVERHEAD_LIMIT_PERCENT = 2.0  # telemetry must be near-free (BM_MetricsOverhead)
 
 
 def campaign_rates(path):
@@ -33,6 +34,17 @@ def campaign_rates(path):
         if "mutants_per_s" in bench:
             rates[bench["name"]] = float(bench["mutants_per_s"])
     return rates
+
+
+def overhead_rows(path):
+    """Benches reporting an `overhead_percent` counter (BM_MetricsOverhead)."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if "overhead_percent" in bench:
+            rows[bench["name"]] = float(bench["overhead_percent"])
+    return rows
 
 
 def main():
@@ -73,6 +85,18 @@ def main():
     if new:
         print(f"perf gate: new campaign benches not yet in the baseline: "
               f"{', '.join(new)}")
+
+    # Telemetry overhead is gated against a fixed ceiling, not the baseline:
+    # the metrics collector must cost < OVERHEAD_LIMIT_PERCENT on a campaign
+    # run whichever hardware recorded the baseline.
+    for name, pct in sorted(overhead_rows(args.fresh).items()):
+        if pct >= OVERHEAD_LIMIT_PERCENT:
+            print(f"::error::perf gate: {name} telemetry overhead "
+                  f"{pct:.2f}% >= {OVERHEAD_LIMIT_PERCENT:.0f}% ceiling")
+            failed = True
+        else:
+            print(f"perf gate: {name} telemetry overhead {pct:.2f}% "
+                  f"(< {OVERHEAD_LIMIT_PERCENT:.0f}% ceiling)")
     return 1 if failed else 0
 
 

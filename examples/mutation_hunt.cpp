@@ -38,15 +38,19 @@
 #include "eval/driver_campaign.h"
 #include "eval/fault_campaign.h"
 #include "eval/merge.h"
+#include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/shard.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
+#include "support/metrics.h"
 
 namespace {
 
 minic::ExecEngine g_engine = minic::ExecEngine::kBytecodeVm;
+bool g_flight_recorder = false;
+uint64_t g_start_ns = 0;  // process start, for the metrics wall clock
 
 void report(const char* label, const std::string& name,
             const std::string& unit) {
@@ -106,6 +110,7 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->c.sample_percent = drivers.sample_percent;
   out->c.threads = threads;
   out->c.engine = g_engine;
+  out->c.flight_recorder = g_flight_recorder;
 
   auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
                                   devil::CodegenMode::kDebug);
@@ -121,7 +126,24 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->cdevil.sample_percent = drivers.sample_percent;
   out->cdevil.threads = threads;
   out->cdevil.engine = g_engine;
+  out->cdevil.flight_recorder = g_flight_recorder;
   return true;
+}
+
+/// Stamps the process section and writes the metrics artifact; maps write
+/// failures to exit code 2 (like shard artifacts — same atomic write path).
+int write_metrics_artifact(const std::string& path,
+                           eval::MetricsArtifact artifact, unsigned threads) {
+  artifact.process = eval::capture_process_metrics(
+      threads, support::monotonic_ns() - g_start_ns);
+  try {
+    eval::save_metrics_artifact(path, artifact);
+  } catch (const eval::ArtifactWriteError& e) {
+    std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "wrote metrics artifact to %s\n", path.c_str());
+  return 0;
 }
 
 /// The C and CDevil fault-campaign configs for one corpus device: the same
@@ -157,6 +179,11 @@ void print_fault_section(const std::string& device,
               device.c_str(), c_res.triggered_scenarios,
               c_res.sampled_scenarios, d_res.triggered_scenarios,
               d_res.sampled_scenarios);
+  // Empty unless the campaign ran with --flight-recorder (traces ride in
+  // the records, so the merge path prints identical post-mortems).
+  std::string pm = eval::render_fault_postmortems("C", c_res, 3) +
+                   eval::render_fault_postmortems("CDevil", d_res, 3);
+  if (!pm.empty()) std::printf("\n%s", pm.c_str());
 }
 
 /// One device's report section. Both the single-process campaign run and
@@ -171,6 +198,11 @@ void print_device_section(const std::string& device,
               device.c_str(), c_res.deduped_mutants, c_res.sampled_mutants,
               c_res.prefix_cache_hits, d_res.deduped_mutants,
               d_res.sampled_mutants, d_res.prefix_cache_hits);
+  // Empty unless the campaign ran with --flight-recorder (traces ride in
+  // the records, so the merge path prints identical post-mortems).
+  std::string pm = eval::render_postmortems("C", c_res, 3) +
+                   eval::render_postmortems("CDevil", d_res, 3);
+  if (!pm.empty()) std::printf("\n%s", pm.c_str());
 }
 
 /// Runs one device's full C vs CDevil driver campaigns on `threads`
@@ -180,13 +212,21 @@ void print_device_section(const std::string& device,
 /// dedup skipped at least one mutant and the compiled-prefix cache served
 /// every unique compile.
 bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
-                          unsigned threads, bool assert_counters) {
+                          unsigned threads, bool assert_counters,
+                          eval::MetricsArtifact* metrics) {
   DeviceCampaignConfigs cfgs;
   if (!make_device_configs(drivers, threads, &cfgs)) return false;
   auto c_res = eval::run_driver_campaign(cfgs.c);
   auto d_res = eval::run_driver_campaign(cfgs.cdevil);
 
   print_device_section(drivers.device, c_res, d_res);
+  if (metrics) {
+    const char* engine = minic::exec_engine_name(g_engine);
+    metrics->campaigns.push_back(
+        eval::campaign_metrics_row(c_res, "C", engine));
+    metrics->campaigns.push_back(
+        eval::campaign_metrics_row(d_res, "CDevil", engine));
+  }
   if (!assert_counters) return true;
   // The walker engine compiles whole units by design, so cache hits are
   // only expected on the bytecode VM.
@@ -217,13 +257,21 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
 /// shape: the faults must actually fire, and the CDevil driver must detect
 /// strictly more injected hardware faults than its classic-C twin.
 bool run_device_fault_campaigns(const corpus::CampaignDrivers& drivers,
-                                unsigned threads, bool assert_counters) {
+                                unsigned threads, bool assert_counters,
+                                eval::MetricsArtifact* metrics) {
   DeviceFaultConfigs cfgs;
   if (!make_fault_configs(drivers, threads, &cfgs)) return false;
   auto c_res = eval::run_fault_campaign(cfgs.c);
   auto d_res = eval::run_fault_campaign(cfgs.cdevil);
 
   print_fault_section(drivers.device, c_res, d_res);
+  if (metrics) {
+    const char* engine = minic::exec_engine_name(g_engine);
+    metrics->fault_campaigns.push_back(
+        eval::fault_metrics_row(c_res, "C", engine));
+    metrics->fault_campaigns.push_back(
+        eval::fault_metrics_row(d_res, "CDevil", engine));
+  }
   if (!assert_counters) return true;
   bool ok = true;
   if (c_res.triggered_scenarios == 0 || d_res.triggered_scenarios == 0) {
@@ -263,7 +311,8 @@ bool known_device(const std::string& device_filter) {
 /// Runs the campaigns for every corpus device matching `device_filter`
 /// ("all" runs each of them — the CI smoke path).
 int run_campaigns(unsigned threads, bool assert_counters,
-                  const std::string& device_filter) {
+                  const std::string& device_filter,
+                  eval::MetricsArtifact* metrics) {
   std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
               "cores, %s engine, device %s)...\n\n",
               threads, minic::exec_engine_name(g_engine),
@@ -271,7 +320,7 @@ int run_campaigns(unsigned threads, bool assert_counters,
   bool ok = true;
   for (const auto& drivers : corpus::campaign_drivers()) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
-    ok &= run_device_campaigns(drivers, threads, assert_counters);
+    ok &= run_device_campaigns(drivers, threads, assert_counters, metrics);
   }
   if (assert_counters) {
     std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
@@ -282,7 +331,8 @@ int run_campaigns(unsigned threads, bool assert_counters,
 /// `--faults`: runs the fault-injection campaigns for every selected
 /// device.
 int run_fault_campaigns(unsigned threads, bool assert_counters,
-                        const std::string& device_filter) {
+                        const std::string& device_filter,
+                        eval::MetricsArtifact* metrics) {
   std::printf("Running fault-injection campaigns (%u thread(s), 0 = all "
               "cores, %s engine, device %s)...\n\n",
               threads, minic::exec_engine_name(g_engine),
@@ -290,7 +340,8 @@ int run_fault_campaigns(unsigned threads, bool assert_counters,
   bool ok = true;
   for (const auto& drivers : corpus::campaign_drivers()) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
-    ok &= run_device_fault_campaigns(drivers, threads, assert_counters);
+    ok &= run_device_fault_campaigns(drivers, threads, assert_counters,
+                                     metrics);
   }
   if (assert_counters) {
     std::printf("fault assertions: %s\n", ok ? "OK" : "FAILED");
@@ -304,7 +355,7 @@ int run_fault_campaigns(unsigned threads, bool assert_counters,
 /// shard invocations compose in scripts.
 int run_shard(eval::ShardSpec spec, const std::string& out_path,
               unsigned threads, const std::string& device_filter,
-              bool faults) {
+              bool faults, const std::string& metrics_path) {
   eval::ShardBundle bundle;
   bundle.shard = spec;
   for (const auto& drivers : corpus::campaign_drivers()) {
@@ -340,15 +391,43 @@ int run_shard(eval::ShardSpec spec, const std::string& out_path,
                  spec.to_string().c_str(), drivers.device, c.records.size(),
                  c.sample_size, d.records.size(), d.sample_size);
   }
+  if (!metrics_path.empty()) {
+    // Embed the process timings in the bundle (so --merge can aggregate
+    // them across the shard fleet) ...
+    bundle.has_metrics = true;
+    bundle.metrics = eval::capture_process_metrics(
+        threads, support::monotonic_ns() - g_start_ns);
+  }
   eval::save_shard_bundle(out_path, bundle);
   std::fprintf(stderr, "wrote shard %s artifact to %s\n",
                spec.to_string().c_str(), out_path.c_str());
+  if (!metrics_path.empty()) {
+    // ... and write this shard's own metrics artifact (deterministic rows
+    // are shard-local: they cover this slice only).
+    eval::MetricsArtifact artifact;
+    for (const eval::ShardArtifact& a : bundle.campaigns) {
+      artifact.campaigns.push_back(eval::shard_metrics_row(a));
+    }
+    for (const eval::FaultShardArtifact& a : bundle.fault_campaigns) {
+      artifact.fault_campaigns.push_back(eval::shard_fault_metrics_row(a));
+    }
+    artifact.process = bundle.metrics;
+    try {
+      eval::save_metrics_artifact(metrics_path, artifact);
+    } catch (const eval::ArtifactWriteError& e) {
+      std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote metrics artifact to %s\n",
+                 metrics_path.c_str());
+  }
   return 0;
 }
 
 /// `--merge FILE...`: loads one bundle per shard, recombines them and
 /// prints the same per-device sections as the single-process campaign run.
-int run_merge(const std::vector<std::string>& paths) {
+int run_merge(const std::vector<std::string>& paths,
+              const std::string& metrics_path) {
   std::vector<eval::ShardBundle> bundles;
   bundles.reserve(paths.size());
   for (const std::string& path : paths) {
@@ -400,6 +479,30 @@ int run_merge(const std::vector<std::string>& paths) {
                     .c_str());
     ++i;
   }
+  if (!metrics_path.empty()) {
+    // Deterministic rows come from the merged results — byte-identical to
+    // the single-process run's rows (the merge guarantee extends to steps
+    // and baseline telemetry). Timings are the aggregate of whatever the
+    // shard bundles embedded.
+    eval::MetricsArtifact artifact;
+    for (const auto& m : merged) {
+      artifact.campaigns.push_back(
+          eval::campaign_metrics_row(m.result, m.label, m.engine));
+    }
+    for (const auto& m : fault_merged) {
+      artifact.fault_campaigns.push_back(
+          eval::fault_metrics_row(m.result, m.label, m.engine));
+    }
+    eval::merge_bundle_metrics(bundles, &artifact.process);
+    try {
+      eval::save_metrics_artifact(metrics_path, artifact);
+    } catch (const eval::ArtifactWriteError& e) {
+      std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote metrics artifact to %s\n",
+                 metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -424,6 +527,17 @@ int usage(std::FILE* to) {
       "  --device NAME        campaign device (default: all)\n"
       "  --list-devices       print the campaign device names, one per line\n"
       "  --walker             use the tree-walker oracle engine\n"
+      "  --metrics FILE       write a campaign metrics artifact to FILE:\n"
+      "                       deterministic counters (steps, opcode\n"
+      "                       profiles, tallies — byte-identical at any\n"
+      "                       thread count and across shard merges) plus\n"
+      "                       process timings; composes with --faults,\n"
+      "                       --shard (also embeds timings in the bundle)\n"
+      "                       and --merge (aggregates embedded timings)\n"
+      "  --progress           throttled records/s + ETA heartbeat on stderr\n"
+      "  --flight-recorder    record each boot's last port accesses and\n"
+      "                       attach the post-mortem tail to every\n"
+      "                       non-clean record\n"
       "  --assert-counters    fail unless dedup + prefix cache engaged\n"
       "                       (with --faults: fail unless faults fired and\n"
       "                       CDevil detected strictly more than C)\n"
@@ -439,6 +553,7 @@ int usage(std::FILE* to) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_start_ns = support::monotonic_ns();
   unsigned threads = 1;
   bool threads_given = false;
   std::string device = "all";
@@ -446,6 +561,7 @@ int main(int argc, char** argv) {
   bool assert_counters = false;
   std::string shard_spec_text;
   std::string out_path;
+  std::string metrics_path;
   std::vector<std::string> merge_paths;
   bool merge_given = false;
   bool faults = false;
@@ -462,6 +578,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "--walker") {
       g_engine = minic::ExecEngine::kTreeWalker;
+    } else if (arg == "--progress") {
+      support::ProgressMeter::set_enabled(true);
+    } else if (arg == "--flight-recorder") {
+      g_flight_recorder = true;
+    } else if (arg == "--metrics") {
+      const char* v = value("--metrics");
+      if (!v) return flag_error("--metrics needs a file path");
+      metrics_path = v;
     } else if (arg == "--faults") {
       faults = true;
     } else if (arg == "--assert-counters") {
@@ -524,18 +648,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // `--metrics` turns the telemetry collector on for the rest of the run
+  // (instrumentation points are single relaxed atomic loads otherwise).
+  if (!metrics_path.empty()) support::Metrics::set_enabled(true);
+
   if (merge_given) {
     if (threads_given || device_given || assert_counters || faults ||
         !shard_spec_text.empty() || !out_path.empty() ||
         g_engine != minic::ExecEngine::kBytecodeVm) {
-      return flag_error("--merge takes only artifact files (the merged "
-                        "report is determined by the artifacts themselves)");
+      return flag_error("--merge takes only artifact files and --metrics "
+                        "(the merged report is determined by the artifacts "
+                        "themselves)");
     }
     if (merge_paths.empty()) {
       return flag_error("--merge needs at least one artifact file");
     }
     try {
-      return run_merge(merge_paths);
+      return run_merge(merge_paths, metrics_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
       return 1;
@@ -567,7 +696,7 @@ int main(int argc, char** argv) {
       return flag_error(e.what());
     }
     try {
-      return run_shard(spec, out_path, threads, device, faults);
+      return run_shard(spec, out_path, threads, device, faults, metrics_path);
     } catch (const eval::ArtifactWriteError& e) {
       // The artifact could not be written (unwritable path, full disk):
       // exit 2 like the other preflight failures, never a partial file.
@@ -579,13 +708,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (faults) {
-    return run_fault_campaigns(threads_given ? threads : 1, assert_counters,
-                               device);
-  }
-  if (threads_given || device_given || assert_counters) {
-    return run_campaigns(threads_given ? threads : 1, assert_counters,
-                         device);
+  // `--metrics` implies campaign mode, like `--device`: the telemetry
+  // subsystem instruments the campaign kernels, not the typo scenario.
+  const bool campaign_mode = threads_given || device_given ||
+                             assert_counters || !metrics_path.empty();
+  if (faults || campaign_mode) {
+    eval::MetricsArtifact artifact;
+    eval::MetricsArtifact* metrics =
+        metrics_path.empty() ? nullptr : &artifact;
+    const unsigned campaign_threads = threads_given ? threads : 1;
+    int rc = faults ? run_fault_campaigns(campaign_threads, assert_counters,
+                                          device, metrics)
+                    : run_campaigns(campaign_threads, assert_counters, device,
+                                    metrics);
+    if (metrics) {
+      int metrics_rc = write_metrics_artifact(metrics_path,
+                                              std::move(artifact),
+                                              campaign_threads);
+      if (metrics_rc != 0) return metrics_rc;
+    }
+    return rc;
   }
 
   std::printf("Scenario: selecting the drive, the developer writes the\n"

@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "hw/flight_recorder.h"
 #include "hw/io_bus.h"
 #include "minic/lexer.h"
 #include "minic/program.h"
 #include "mutation/c_mutator.h"
 #include "support/line_bitmap.h"
+#include "support/metrics.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -83,6 +85,8 @@ struct BootSnapshot {
   bool clean = false;       // booted without fault, disk intact, right view
   Outcome outcome = Outcome::kCompileTime;  // valid when !clean
   std::string detail;
+  uint64_t steps = 0;
+  std::string trace;        // flight-recorder post-mortem (non-clean only)
   support::LineBitmap executed;
   std::map<std::string, std::set<uint32_t>> macro_use_lines;
 };
@@ -175,7 +179,16 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
 
   hw::IoBus bus;
   auto dev = prep.device_pool.acquire();
-  bus.map(config.device.port_base, config.device.port_span, dev);
+  std::shared_ptr<hw::FlightRecorder> recorder;
+  if (config.flight_recorder) {
+    // Outermost shim: the recorder sees exactly the driver-visible traffic,
+    // step-stamped through the bus's probe.
+    recorder = std::make_shared<hw::FlightRecorder>(
+        dev, config.device.port_base, &bus);
+    bus.map(config.device.port_base, config.device.port_span, recorder);
+  } else {
+    bus.map(config.device.port_base, config.device.port_span, dev);
+  }
   auto run = cached
                  ? minic::run_module(*spliced.module, bus, prep.entry,
                                      config.step_budget)
@@ -185,6 +198,8 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
   if (run.fault == minic::FaultKind::kInternal) {
     throw std::logic_error("interpreter bug on mutant: " + run.fault_message);
   }
+  support::StageTimer classify_timer(support::Stage::kClassify);
+  rec.steps = run.steps_used;
   bool clean = false;
   if (run.fault != minic::FaultKind::kNone) {
     rec.outcome = classify_fault(run.fault);
@@ -201,17 +216,22 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
     clean = true;
     rec.outcome = classify_clean(prep, site, run.executed, *macro_uses);
   }
+  if (recorder && !clean) rec.trace = recorder->render_tail();
   if (snap) {
     snap->clean = clean;
     snap->outcome = rec.outcome;
     snap->detail = rec.detail;
+    snap->steps = rec.steps;
+    snap->trace = rec.trace;
     if (clean) {
       snap->executed = std::move(run.executed);
       snap->macro_use_lines = std::move(*macro_uses);
     }
   }
-  // Drop the bus mapping before recycling the device.
+  // Drop the bus mapping (and the recorder's inner reference) before
+  // recycling the device.
   bus = hw::IoBus();
+  recorder.reset();
   prep.device_pool.release(std::move(dev));
   return rec;
 }
@@ -226,6 +246,10 @@ MutantRecord classify_duplicate(const PreparedCampaign& prep, size_t mutant_ix,
   rec.mutant_index = mutant_ix;
   rec.site = m.site;
   rec.deduped = true;
+  // Key-equal mutants boot identically, so the representative's step count
+  // and post-mortem are this mutant's too.
+  rec.steps = snap.steps;
+  rec.trace = snap.trace;
   if (snap.clean) {
     rec.outcome = classify_clean(prep, prep.sites[m.site], snap.executed,
                                  snap.macro_use_lines);
@@ -344,8 +368,14 @@ DriverCampaignResult run_driver_campaign_slice(
     hw::IoBus bus;
     auto dev = prep.device_pool.acquire();
     bus.map(config.device.port_base, config.device.port_span, dev);
+    // The baseline boot doubles as the campaign's deterministic profile
+    // run: steps retired and (on the VM) the per-opcode dispatch counts.
+    // Every shard recomputes these; merge validation rejects disagreement.
+    const bool vm_engine = config.engine == minic::ExecEngine::kBytecodeVm;
     auto run = minic::run_unit(*clean.unit, bus, prep.entry,
-                               config.step_budget, config.engine);
+                               config.step_budget, config.engine,
+                               vm_engine ? &result.baseline_opcodes : nullptr);
+    result.baseline_steps = run.steps_used;
     if (run.fault != minic::FaultKind::kNone) {
       throw std::logic_error(who + "unmutated driver faults at boot" +
                              at_entry + ": " + run.fault_message);
@@ -432,13 +462,21 @@ DriverCampaignResult run_driver_campaign_slice(
     if (dup_of[i] == static_cast<size_t>(-1)) unique_ix.push_back(i);
   }
   std::vector<uint8_t> cache_hits(selected.size(), 0);
-  support::parallel_for(unique_ix.size(), config.threads, [&](size_t u) {
-    size_t i = unique_ix[u];
-    BootSnapshot* snap = wants_snapshot[i] ? &snapshots[i] : nullptr;
-    result.records[i] = run_one_mutant(
-        prep, selected[i], snap,
-        config.dedup ? std::move(spliced[i]) : std::string(), &cache_hits[i]);
-  });
+  support::ProgressMeter progress(who + "booting", unique_ix.size());
+  std::vector<uint64_t> worker_shares;
+  support::parallel_for(
+      unique_ix.size(), config.threads,
+      [&](size_t u) {
+        size_t i = unique_ix[u];
+        BootSnapshot* snap = wants_snapshot[i] ? &snapshots[i] : nullptr;
+        result.records[i] = run_one_mutant(
+            prep, selected[i], snap,
+            config.dedup ? std::move(spliced[i]) : std::string(),
+            &cache_hits[i]);
+        progress.tick();
+      },
+      support::Metrics::enabled() ? &worker_shares : nullptr);
+  support::Metrics::add_worker_records(worker_shares);
   for (uint8_t hit : cache_hits) result.prefix_cache_hits += hit;
   if (sideband) sideband->prefix_cache_hit = cache_hits;
 

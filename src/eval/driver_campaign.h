@@ -83,6 +83,12 @@ struct DriverCampaignConfig {
   /// records either way (ctest-enforced). Only effective on the bytecode
   /// engine; the tree walker always compiles whole units.
   bool prefix_cache = true;
+  /// Wrap every boot's device in a `hw::FlightRecorder` and attach the
+  /// rendered port-access tail to each non-clean record (`MutantRecord::
+  /// trace`). Off by default — it is part of the campaign fingerprint, so
+  /// shards must agree on it. Traces are engine-invariant (the step-stamped
+  /// charge discipline is) and deterministic at any thread count.
+  bool flight_recorder = false;
 };
 
 struct MutantRecord {
@@ -93,6 +99,12 @@ struct MutantRecord {
   /// True when this mutant's unit was a canonical duplicate: its outcome
   /// was classified from the representative's boot without recompiling.
   bool deduped = false;
+  /// Interpreter steps the boot retired (0 for compile-time outcomes;
+  /// duplicates carry their representative's — identical — count).
+  uint64_t steps = 0;
+  /// Flight-recorder post-mortem: the rendered tail of port accesses, only
+  /// for non-clean boots and only when the config enables the recorder.
+  std::string trace;
 };
 
 struct DriverCampaignResult {
@@ -109,6 +121,12 @@ struct DriverCampaignResult {
   size_t prefix_cache_hits = 0;
   Tally tally;
   int64_t clean_fingerprint = 0;
+  /// Steps the unmutated baseline boot retired, and its per-opcode dispatch
+  /// profile (bytecode engine only; all-zero on the walker). Deterministic
+  /// campaign telemetry: every shard recomputes the same values, and merge
+  /// validation rejects disagreement.
+  uint64_t baseline_steps = 0;
+  minic::bytecode::OpcodeProfile baseline_opcodes;
   std::vector<MutantRecord> records;  // one per sampled mutant
 };
 

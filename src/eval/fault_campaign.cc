@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hw/flight_recorder.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
+#include "support/metrics.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -177,8 +179,11 @@ FaultCampaignResult run_fault_campaign_slice(const FaultCampaignConfig& config,
     hw::IoBus bus;
     auto dev = device_pool.acquire();
     bus.map(base.device.port_base, base.device.port_span, dev);
+    const bool vm_engine = base.engine == minic::ExecEngine::kBytecodeVm;
     auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
-                               base.engine);
+                               base.engine,
+                               vm_engine ? &result.baseline_opcodes : nullptr);
+    result.baseline_steps = run.steps_used;
     if (run.fault != minic::FaultKind::kNone) {
       throw std::logic_error(who + "driver faults on healthy hardware" +
                              at_entry + ": " + run.fault_message);
@@ -219,51 +224,73 @@ FaultCampaignResult run_fault_campaign_slice(const FaultCampaignConfig& config,
   // the triggered count) is reduced after the join, so the result is
   // identical at any thread count.
   result.records.resize(selected.size());
-  support::parallel_for(selected.size(), base.threads, [&](size_t i) {
-    const size_t scenario_ix = selected[i];
-    const hw::FaultPlan& plan = matrix[scenario_ix];
+  support::ProgressMeter progress(who + "booting", selected.size());
+  std::vector<uint64_t> worker_shares;
+  support::parallel_for(
+      selected.size(), base.threads,
+      [&](size_t i) {
+        const size_t scenario_ix = selected[i];
+        const hw::FaultPlan& plan = matrix[scenario_ix];
 
-    FaultRecord rec;
-    rec.scenario_index = scenario_ix;
-    rec.plan = plan;
+        FaultRecord rec;
+        rec.scenario_index = scenario_ix;
+        rec.plan = plan;
 
-    hw::IoBus bus;
-    auto dev = device_pool.acquire();
-    auto shim = std::make_shared<hw::FaultInjector>(dev, base.device.port_base,
-                                                    plan);
-    bus.map(base.device.port_base, base.device.port_span, shim);
-    auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
-                               base.engine);
-    if (run.fault == minic::FaultKind::kInternal) {
-      throw std::logic_error(who + "interpreter bug under fault [" +
-                             plan.describe() + "]: " + run.fault_message);
-    }
-    rec.triggered = shim->fired() > 0;
-    if (run.fault != minic::FaultKind::kNone) {
-      rec.outcome = classify_run_fault(run.fault);
-      rec.detail = run.fault_message;
-    } else if (dev->damaged() ||
-               run.return_value != result.clean_fingerprint) {
-      rec.outcome = FaultOutcome::kCorruptBoot;
-      rec.detail = dev->damaged() ? dev->damage_note()
-                                  : "wrong boot fingerprint";
-    } else {
-      rec.outcome = FaultOutcome::kCleanBoot;
-    }
-    if (!rec.triggered && rec.outcome != FaultOutcome::kCleanBoot) {
-      // An unfired fault cannot have changed the traffic; any non-clean
-      // outcome here means the shim miscounted or the boot is flaky.
-      throw std::logic_error(who + "scenario [" + plan.describe() +
-                             "] never triggered yet boot was not clean (" +
-                             fault_outcome_short(rec.outcome) + ")");
-    }
-    // Drop the bus mapping and the shim before recycling the device (the
-    // pool requires the caller to hold the only reference).
-    bus = hw::IoBus();
-    shim.reset();
-    device_pool.release(std::move(dev));
-    result.records[i] = std::move(rec);
-  });
+        hw::IoBus bus;
+        auto dev = device_pool.acquire();
+        auto shim = std::make_shared<hw::FaultInjector>(
+            dev, base.device.port_base, plan);
+        std::shared_ptr<hw::FlightRecorder> recorder;
+        if (base.flight_recorder) {
+          // Recorder outermost: the trace shows the post-fault values the
+          // driver actually read, not the healthy device's.
+          recorder = std::make_shared<hw::FlightRecorder>(
+              shim, base.device.port_base, &bus);
+          bus.map(base.device.port_base, base.device.port_span, recorder);
+        } else {
+          bus.map(base.device.port_base, base.device.port_span, shim);
+        }
+        auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
+                                   base.engine);
+        if (run.fault == minic::FaultKind::kInternal) {
+          throw std::logic_error(who + "interpreter bug under fault [" +
+                                 plan.describe() + "]: " + run.fault_message);
+        }
+        support::StageTimer classify_timer(support::Stage::kClassify);
+        rec.triggered = shim->fired() > 0;
+        rec.steps = run.steps_used;
+        if (run.fault != minic::FaultKind::kNone) {
+          rec.outcome = classify_run_fault(run.fault);
+          rec.detail = run.fault_message;
+        } else if (dev->damaged() ||
+                   run.return_value != result.clean_fingerprint) {
+          rec.outcome = FaultOutcome::kCorruptBoot;
+          rec.detail = dev->damaged() ? dev->damage_note()
+                                      : "wrong boot fingerprint";
+        } else {
+          rec.outcome = FaultOutcome::kCleanBoot;
+        }
+        if (recorder && rec.outcome != FaultOutcome::kCleanBoot) {
+          rec.trace = recorder->render_tail();
+        }
+        if (!rec.triggered && rec.outcome != FaultOutcome::kCleanBoot) {
+          // An unfired fault cannot have changed the traffic; any non-clean
+          // outcome here means the shim miscounted or the boot is flaky.
+          throw std::logic_error(who + "scenario [" + plan.describe() +
+                                 "] never triggered yet boot was not clean (" +
+                                 fault_outcome_short(rec.outcome) + ")");
+        }
+        // Drop the bus mapping and the shims before recycling the device
+        // (the pool requires the caller to hold the only reference).
+        bus = hw::IoBus();
+        recorder.reset();
+        shim.reset();
+        device_pool.release(std::move(dev));
+        result.records[i] = std::move(rec);
+        progress.tick();
+      },
+      support::Metrics::enabled() ? &worker_shares : nullptr);
+  support::Metrics::add_worker_records(worker_shares);
 
   for (const FaultRecord& rec : result.records) {
     result.tally.add(rec.outcome, rec.plan.port);

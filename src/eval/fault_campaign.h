@@ -79,6 +79,13 @@ struct FaultRecord {
   FaultOutcome outcome = FaultOutcome::kCleanBoot;
   std::string detail;  // fault message / damage note, when any
   bool triggered = false;
+  /// Interpreter steps the boot retired.
+  uint64_t steps = 0;
+  /// Flight-recorder post-mortem (non-clean outcomes, recorder enabled via
+  /// DriverCampaignConfig::flight_recorder on the base config). The recorder
+  /// wraps *outside* the fault injector, so the trace shows the faulted
+  /// values the driver actually saw.
+  std::string trace;
 };
 
 struct FaultCampaignConfig {
@@ -105,6 +112,10 @@ struct FaultCampaignResult {
   size_t sampled_scenarios = 0;    // records in this result
   size_t triggered_scenarios = 0;  // records whose fault actually fired
   int64_t clean_fingerprint = 0;
+  /// Deterministic baseline telemetry, as in DriverCampaignResult: the
+  /// healthy-hardware boot's step count and VM opcode profile.
+  uint64_t baseline_steps = 0;
+  minic::bytecode::OpcodeProfile baseline_opcodes;
   FaultTally tally;
   std::vector<FaultRecord> records;  // in sampled-scenario order
 };

@@ -89,7 +89,8 @@ DriverCampaignResult merge_shard_artifacts(
     // Belt and braces for hand-edited artifacts: the fields the merge
     // copies forward must agree even if the fingerprints were doctored.
     if (artifact->device != first.device || artifact->label != first.label ||
-        artifact->entry != first.entry || artifact->dedup != first.dedup ||
+        artifact->entry != first.entry || artifact->engine != first.engine ||
+        artifact->dedup != first.dedup ||
         artifact->sample_size != first.sample_size ||
         artifact->total_sites != first.total_sites ||
         artifact->total_mutants != first.total_mutants ||
@@ -98,6 +99,14 @@ DriverCampaignResult merge_shard_artifacts(
            " disagrees with shard " + std::to_string(shards.front().first) +
            " on campaign metadata despite equal fingerprints (corrupt "
            "artifact?)");
+    }
+    // Baseline telemetry is deterministic: every shard re-boots the same
+    // unmutated driver, so step counts and opcode profiles must agree.
+    if (artifact->baseline_steps != first.baseline_steps ||
+        !(artifact->baseline_opcodes == first.baseline_opcodes)) {
+      fail("shard " + std::to_string(index) + " of campaign " + name +
+           " disagrees with shard " + std::to_string(shards.front().first) +
+           " on the baseline boot telemetry (corrupt artifact?)");
     }
   }
 
@@ -127,6 +136,8 @@ DriverCampaignResult merge_shard_artifacts(
   merged.total_mutants = first.total_mutants;
   merged.sampled_mutants = first.sample_size;
   merged.clean_fingerprint = first.clean_fingerprint;
+  merged.baseline_steps = first.baseline_steps;
+  merged.baseline_opcodes = first.baseline_opcodes;
   merged.records.reserve(first.sample_size);
 
   // Concatenating in shard order restores sample order; re-dedup globally.
@@ -180,7 +191,7 @@ FaultCampaignResult merge_fault_artifacts(
            "and cannot be merged");
     }
     if (artifact->device != first.device || artifact->label != first.label ||
-        artifact->entry != first.entry ||
+        artifact->entry != first.entry || artifact->engine != first.engine ||
         artifact->total_scenarios != first.total_scenarios ||
         artifact->sample_size != first.sample_size ||
         artifact->clean_fingerprint != first.clean_fingerprint) {
@@ -188,6 +199,12 @@ FaultCampaignResult merge_fault_artifacts(
            " disagrees with shard " + std::to_string(shards.front().first) +
            " on campaign metadata despite equal fingerprints (corrupt "
            "artifact?)");
+    }
+    if (artifact->baseline_steps != first.baseline_steps ||
+        !(artifact->baseline_opcodes == first.baseline_opcodes)) {
+      fail("shard " + std::to_string(index) + " of fault campaign " + name +
+           " disagrees with shard " + std::to_string(shards.front().first) +
+           " on the baseline boot telemetry (corrupt artifact?)");
     }
   }
 
@@ -224,6 +241,8 @@ FaultCampaignResult merge_fault_artifacts(
   merged.total_scenarios = first.total_scenarios;
   merged.sampled_scenarios = first.sample_size;
   merged.clean_fingerprint = first.clean_fingerprint;
+  merged.baseline_steps = first.baseline_steps;
+  merged.baseline_opcodes = first.baseline_opcodes;
   merged.records.reserve(first.sample_size);
   // Concatenating in shard order restores sample order; fault scenarios
   // are never deduped, so no flags or counters need rewriting.
@@ -299,6 +318,7 @@ std::vector<MergedCampaign> merge_shard_bundles(
     MergedCampaign m;
     m.device = reference[j].device;
     m.label = reference[j].label;
+    m.engine = reference[j].engine;
     m.result = merge_shard_artifacts(shards);
     merged.push_back(std::move(m));
   }
@@ -367,10 +387,26 @@ std::vector<MergedFaultCampaign> merge_fault_bundles(
     MergedFaultCampaign m;
     m.device = reference[j].device;
     m.label = reference[j].label;
+    m.engine = reference[j].engine;
     m.result = merge_fault_artifacts(shards);
     merged.push_back(std::move(m));
   }
   return merged;
+}
+
+bool merge_bundle_metrics(const std::vector<ShardBundle>& bundles,
+                          ProcessMetrics* out) {
+  bool any = false;
+  ProcessMetrics merged;
+  // Counter sums and bucket-wise histogram merges are commutative and
+  // associative, so the bundle order cannot change the aggregate.
+  for (const ShardBundle& b : bundles) {
+    if (!b.has_metrics) continue;
+    merge_process_metrics(merged, b.metrics);
+    any = true;
+  }
+  if (any && out) *out = merged;
+  return any;
 }
 
 }  // namespace eval

@@ -27,7 +27,8 @@ namespace eval {
 /// One campaign reassembled from all its shards.
 struct MergedCampaign {
   std::string device;
-  std::string label;  // "C" / "CDevil" (ShardArtifact::label)
+  std::string label;   // "C" / "CDevil" (ShardArtifact::label)
+  std::string engine;  // shard-validated minic::exec_engine_name
   DriverCampaignResult result;
 };
 
@@ -52,7 +53,8 @@ struct MergedCampaign {
 /// One fault campaign reassembled from all its shards.
 struct MergedFaultCampaign {
   std::string device;
-  std::string label;  // "C" / "CDevil" (FaultShardArtifact::label)
+  std::string label;   // "C" / "CDevil" (FaultShardArtifact::label)
+  std::string engine;  // shard-validated minic::exec_engine_name
   FaultCampaignResult result;
 };
 
@@ -70,5 +72,12 @@ struct MergedFaultCampaign {
 /// without fault campaigns merge to an empty list.
 [[nodiscard]] std::vector<MergedFaultCampaign> merge_fault_bundles(
     const std::vector<ShardBundle>& bundles);
+
+/// Aggregates the embedded process metrics of every bundle that carries any
+/// (eval/metrics.h merge_process_metrics: counter sums, bucket-wise
+/// histogram merges — order-independent). Returns false, leaving `out`
+/// untouched, when no bundle embeds metrics.
+bool merge_bundle_metrics(const std::vector<ShardBundle>& bundles,
+                          ProcessMetrics* out);
 
 }  // namespace eval

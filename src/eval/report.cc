@@ -1,5 +1,6 @@
 #include "eval/report.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -26,12 +27,8 @@ void add_outcome_row(support::TextTable& t, const DriverCampaignResult& r,
              std::to_string(r.tally.mutants_of(o)),
              support::percent(r.tally.mutants_of(o), r.sampled_mutants)});
 }
-}  // namespace
 
-std::string render_driver_table(const std::string& title,
-                                const DriverCampaignResult& r) {
-  std::ostringstream os;
-  os << title << "\n";
+support::TextTable build_driver_table(const DriverCampaignResult& r) {
   support::TextTable t({"", "Number of mutation sites", "Number of mutants",
                         "Concerned mutants / total nb. of mutants"});
   add_outcome_row(t, r, Outcome::kCompileTime);
@@ -49,13 +46,52 @@ std::string render_driver_table(const std::string& title,
   t.add_separator();
   t.add_row({"Total", std::to_string(r.total_sites),
              std::to_string(r.sampled_mutants), "N/A"});
-  os << t.render();
+  return t;
+}
+
+std::string render_driver_table_at(const std::string& title,
+                                   const DriverCampaignResult& r,
+                                   const support::TextTable& t,
+                                   const std::vector<size_t>& widths) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << t.render(widths);
   os << "(" << r.total_mutants << " mutants generated, " << r.sampled_mutants
      << " sampled for testing";
   if (!r.device.empty()) os << ", device " << r.device;
   if (!r.entry.empty()) os << ", entry " << r.entry;
   os << ")\n";
   return os.str();
+}
+
+/// Element-wise max of two tables' natural widths: the shared column grid
+/// for a C/CDevil table pair, so the two tables of one device section line
+/// up even when only one of them carries the long outcome labels.
+std::vector<size_t> shared_widths(const support::TextTable& a,
+                                  const support::TextTable& b) {
+  std::vector<size_t> wa = a.measure();
+  std::vector<size_t> wb = b.measure();
+  if (wb.size() > wa.size()) wa.resize(wb.size(), 0);
+  for (size_t c = 0; c < wb.size(); ++c) wa[c] = std::max(wa[c], wb[c]);
+  return wa;
+}
+
+/// Appends an indented flight-recorder tail (hw::FlightRecorder::
+/// render_tail) under a one-line record header.
+void append_trace(std::ostringstream& os, const std::string& trace) {
+  size_t pos = 0;
+  while (pos < trace.size()) {
+    size_t nl = trace.find('\n', pos);
+    if (nl == std::string::npos) nl = trace.size();
+    os << "    " << trace.substr(pos, nl - pos) << "\n";
+    pos = nl + 1;
+  }
+}
+}  // namespace
+
+std::string render_driver_table(const std::string& title,
+                                const DriverCampaignResult& r) {
+  return render_driver_table_at(title, r, build_driver_table(r), {});
 }
 
 std::string render_comparison(const DriverCampaignResult& c_result,
@@ -106,12 +142,18 @@ std::string render_campaign_tables(const DriverCampaignResult& c_result,
   auto tag = [](const DriverCampaignResult& r) {
     return r.device.empty() ? std::string() : " (" + r.device + ")";
   };
+  // The pair shares one column grid: a row label or count that only one of
+  // the two campaigns produces (a run-time check line, a long driver label)
+  // widens both tables, keeping the device section aligned.
+  support::TextTable c_table = build_driver_table(c_result);
+  support::TextTable d_table = build_driver_table(d_result);
+  std::vector<size_t> widths = shared_widths(c_table, d_table);
   std::ostringstream os;
-  os << render_driver_table("Table 3: original C driver" + tag(c_result),
-                            c_result)
+  os << render_driver_table_at("Table 3: original C driver" + tag(c_result),
+                               c_result, c_table, widths)
      << "\n"
-     << render_driver_table("Table 4: CDevil driver" + tag(d_result),
-                            d_result)
+     << render_driver_table_at("Table 4: CDevil driver" + tag(d_result),
+                               d_result, d_table, widths)
      << "\n" << render_comparison(c_result, d_result);
   return os.str();
 }
@@ -123,12 +165,8 @@ void add_fault_row(support::TextTable& t, const FaultCampaignResult& r,
              std::to_string(r.tally.scenarios_of(o)),
              support::percent(r.tally.scenarios_of(o), r.sampled_scenarios)});
 }
-}  // namespace
 
-std::string render_fault_table(const std::string& title,
-                               const FaultCampaignResult& r) {
-  std::ostringstream os;
-  os << title << "\n";
+support::TextTable build_fault_table(const FaultCampaignResult& r) {
   support::TextTable t({"", "Number of ports", "Number of scenarios",
                         "Concerned scenarios / total nb. of scenarios"});
   if (r.tally.scenarios_of(FaultOutcome::kDevilCheck) > 0) {
@@ -146,7 +184,16 @@ std::string render_fault_table(const std::string& title,
   }
   t.add_row({"Total", std::to_string(all_ports.size()),
              std::to_string(r.sampled_scenarios), "N/A"});
-  os << t.render();
+  return t;
+}
+
+std::string render_fault_table_at(const std::string& title,
+                                  const FaultCampaignResult& r,
+                                  const support::TextTable& t,
+                                  const std::vector<size_t>& widths) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << t.render(widths);
   os << "(" << r.total_scenarios << " scenarios generated, "
      << r.sampled_scenarios << " sampled for testing, "
      << r.triggered_scenarios << " triggered the fault";
@@ -154,6 +201,12 @@ std::string render_fault_table(const std::string& title,
   if (!r.entry.empty()) os << ", entry " << r.entry;
   os << ")\n";
   return os.str();
+}
+}  // namespace
+
+std::string render_fault_table(const std::string& title,
+                               const FaultCampaignResult& r) {
+  return render_fault_table_at(title, r, build_fault_table(r), {});
 }
 
 std::string render_fault_comparison(const FaultCampaignResult& c_result,
@@ -198,21 +251,74 @@ std::string render_fault_comparison(const FaultCampaignResult& c_result,
   return os.str();
 }
 
+std::string render_postmortems(const std::string& title,
+                               const DriverCampaignResult& r, size_t cap) {
+  size_t traced = 0;
+  for (const auto& rec : r.records) {
+    if (!rec.trace.empty()) ++traced;
+  }
+  if (traced == 0 || cap == 0) return {};
+  std::ostringstream os;
+  os << "Flight-recorder post-mortems: " << title << " (first "
+     << std::min(cap, traced) << " of " << traced << " traced records)\n";
+  size_t shown = 0;
+  for (const auto& rec : r.records) {
+    if (rec.trace.empty()) continue;
+    if (shown == cap) break;
+    ++shown;
+    os << "  mutant " << rec.mutant_index << ", site " << rec.site << ": "
+       << outcome_name(rec.outcome);
+    if (!rec.detail.empty()) os << " (" << rec.detail << ")";
+    os << "\n";
+    append_trace(os, rec.trace);
+  }
+  return os.str();
+}
+
+std::string render_fault_postmortems(const std::string& title,
+                                     const FaultCampaignResult& r,
+                                     size_t cap) {
+  size_t traced = 0;
+  for (const auto& rec : r.records) {
+    if (!rec.trace.empty()) ++traced;
+  }
+  if (traced == 0 || cap == 0) return {};
+  std::ostringstream os;
+  os << "Flight-recorder post-mortems: " << title << " (first "
+     << std::min(cap, traced) << " of " << traced << " traced records)\n";
+  size_t shown = 0;
+  for (const auto& rec : r.records) {
+    if (rec.trace.empty()) continue;
+    if (shown == cap) break;
+    ++shown;
+    os << "  scenario " << rec.scenario_index << " (" << rec.plan.describe()
+       << "): " << fault_outcome_name(rec.outcome);
+    if (!rec.detail.empty()) os << " (" << rec.detail << ")";
+    os << "\n";
+    append_trace(os, rec.trace);
+  }
+  return os.str();
+}
+
 std::string render_fault_tables(const FaultCampaignResult& c_result,
                                 const FaultCampaignResult& d_result) {
   auto tag = [](const FaultCampaignResult& r) {
     return r.device.empty() ? std::string() : " (" + r.device + ")";
   };
+  // Shared column grid across the pair, as in render_campaign_tables.
+  support::TextTable c_table = build_fault_table(c_result);
+  support::TextTable d_table = build_fault_table(d_result);
+  std::vector<size_t> widths = shared_widths(c_table, d_table);
   std::ostringstream os;
-  os << render_fault_table(
+  os << render_fault_table_at(
             "Table F3: original C driver under injected hardware faults" +
                 tag(c_result),
-            c_result)
+            c_result, c_table, widths)
      << "\n"
-     << render_fault_table(
+     << render_fault_table_at(
             "Table F4: CDevil driver under injected hardware faults" +
                 tag(d_result),
-            d_result)
+            d_result, d_table, widths)
      << "\n" << render_fault_comparison(c_result, d_result);
   return os.str();
 }

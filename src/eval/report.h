@@ -35,6 +35,15 @@ namespace eval {
     const DriverCampaignResult& c_result,
     const DriverCampaignResult& cdevil_result);
 
+/// Flight-recorder post-mortems for a mutation campaign: one block per
+/// traced record (MutantRecord::trace — non-clean boots of a campaign run
+/// with DriverCampaignConfig::flight_recorder), capped at the first `cap`
+/// records so multi-thousand-mutant fleets stay readable. Returns "" when
+/// no record carries a trace, so callers can print unconditionally.
+[[nodiscard]] std::string render_postmortems(const std::string& title,
+                                             const DriverCampaignResult& r,
+                                             size_t cap);
+
 /// Tables-3/4-shaped table for one fault-injection campaign: a detection
 /// line (Devil checks only shown when any fired, mirroring the run-time
 /// check row), the failure behaviours, then totals. The footer names the
@@ -48,6 +57,11 @@ namespace eval {
 [[nodiscard]] std::string render_fault_comparison(
     const FaultCampaignResult& c_result,
     const FaultCampaignResult& cdevil_result);
+
+/// Flight-recorder post-mortems for a fault campaign (FaultRecord::trace),
+/// mirroring render_postmortems: first `cap` traced records, "" when none.
+[[nodiscard]] std::string render_fault_postmortems(
+    const std::string& title, const FaultCampaignResult& r, size_t cap);
 
 /// One device's full fault-injection evaluation: Table F3 (original C
 /// driver), Table F4 (CDevil driver) and the comparison.

@@ -15,7 +15,10 @@ namespace eval {
 namespace {
 
 constexpr const char* kFormatTag = "devil-repro-shard";
-constexpr int64_t kFormatVersion = 1;
+// Version 2: records carry interpreter step counts (and flight-recorder
+// traces when present), artifacts carry the baseline boot's steps and VM
+// opcode profile, and bundles may embed process metrics.
+constexpr int64_t kFormatVersion = 2;
 
 /// All outcomes, in enum order, for tally serialization and the reverse
 /// outcome_short lookup.
@@ -127,6 +130,47 @@ size_t optional_size(const support::JsonValue& obj, const char* key,
   return obj.find(key) ? require_size(obj, key, ctx) : 0;
 }
 
+/// Opcode profiles serialize as zero-suppressed [opcode index, count] pairs
+/// in ascending index order — the shard format is internal, so indices are
+/// exact and compact (the metrics artifact uses names instead).
+support::JsonValue opcode_profile_to_json(
+    const minic::bytecode::OpcodeProfile& profile) {
+  support::JsonValue pairs = support::JsonValue::array();
+  for (size_t i = 0; i < minic::bytecode::kOpCount; ++i) {
+    if (profile.counts[i] == 0) continue;
+    support::JsonValue pair = support::JsonValue::array();
+    pair.push_back(static_cast<int64_t>(i));
+    pair.push_back(profile.counts[i]);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+minic::bytecode::OpcodeProfile opcode_profile_from_json(
+    const support::JsonValue& v, const std::string& ctx) {
+  minic::bytecode::OpcodeProfile profile;
+  int64_t prev = -1;
+  for (const support::JsonValue& pair : v.items()) {
+    if (pair.items().size() != 2) {
+      throw std::runtime_error(ctx + ": opcode entry is not an "
+                               "[index, count] pair");
+    }
+    int64_t ix = pair.items()[0].as_int();
+    int64_t count = pair.items()[1].as_int();
+    if (ix <= prev || ix >= static_cast<int64_t>(minic::bytecode::kOpCount)) {
+      throw std::runtime_error(ctx + ": opcode index " + std::to_string(ix) +
+                               " out of range or out of order");
+    }
+    if (count <= 0) {
+      throw std::runtime_error(ctx + ": opcode count must be positive (zero "
+                               "rows are suppressed)");
+    }
+    profile.counts[static_cast<size_t>(ix)] = static_cast<uint64_t>(count);
+    prev = ix;
+  }
+  return profile;
+}
+
 }  // namespace
 
 ShardSpec parse_shard_spec(const std::string& text) {
@@ -174,6 +218,8 @@ std::string campaign_fingerprint(const DriverCampaignConfig& config) {
   h.update_field(minic::exec_engine_name(config.engine));
   h.update_u64(config.dedup ? 1 : 0);
   h.update_u64(config.prefix_cache ? 1 : 0);
+  // The recorder changes record contents (traces), so shards must agree.
+  h.update_u64(config.flight_recorder ? 1 : 0);
   // Deliberately not hashed: config.threads — results are thread-count
   // invariant (ctest-enforced), so shards may run at different widths.
   return h.hex();
@@ -194,6 +240,7 @@ ShardArtifact run_campaign_shard(const DriverCampaignConfig& config,
   a.device = res.device;
   a.label = label;
   a.entry = res.entry;
+  a.engine = minic::exec_engine_name(config.engine);
   a.fingerprint = campaign_fingerprint(config);
   a.dedup = config.dedup;
   a.sample_size = side.sample_size;
@@ -205,6 +252,8 @@ ShardArtifact run_campaign_shard(const DriverCampaignConfig& config,
   a.deduped_mutants = res.deduped_mutants;
   a.prefix_cache_hits = res.prefix_cache_hits;
   a.tally = res.tally;
+  a.baseline_steps = res.baseline_steps;
+  a.baseline_opcodes = res.baseline_opcodes;
   a.records.resize(res.records.size());
   for (size_t i = 0; i < res.records.size(); ++i) {
     ShardRecord& r = a.records[i];
@@ -247,6 +296,7 @@ FaultShardArtifact run_fault_campaign_shard(const FaultCampaignConfig& config,
   a.device = res.device;
   a.label = label;
   a.entry = res.entry;
+  a.engine = minic::exec_engine_name(config.base.engine);
   a.fingerprint = fault_campaign_fingerprint(config);
   a.total_scenarios = res.total_scenarios;
   a.sample_size = side.sample_size;
@@ -255,6 +305,8 @@ FaultShardArtifact run_fault_campaign_shard(const FaultCampaignConfig& config,
   a.clean_fingerprint = res.clean_fingerprint;
   a.triggered = res.triggered_scenarios;
   a.tally = res.tally;
+  a.baseline_steps = res.baseline_steps;
+  a.baseline_opcodes = res.baseline_opcodes;
   a.records = std::move(res.records);
   return a;
 }
@@ -277,6 +329,7 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
     c.set("device", a.device);
     c.set("label", a.label);
     c.set("entry", a.entry);
+    c.set("engine", a.engine);
     c.set("fingerprint", a.fingerprint);
     c.set("dedup", a.dedup);
     c.set("sample_size", a.sample_size);
@@ -287,6 +340,8 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
     c.set("clean_fingerprint", a.clean_fingerprint);
     c.set("deduped_mutants", a.deduped_mutants);
     c.set("prefix_cache_hits", a.prefix_cache_hits);
+    c.set("baseline_steps", a.baseline_steps);
+    c.set("baseline_opcodes", opcode_profile_to_json(a.baseline_opcodes));
 
     // Shard-local tally, keyed by the short outcome names in enum order
     // (std::map iteration), zero rows omitted — byte-stable.
@@ -302,10 +357,12 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
       rec.set("mutant", r.rec.mutant_index);
       rec.set("site", r.rec.site);
       rec.set("outcome", outcome_short(r.rec.outcome));
+      rec.set("steps", r.rec.steps);
       if (!r.rec.detail.empty()) rec.set("detail", r.rec.detail);
       if (r.rec.deduped) rec.set("deduped", true);
       if (r.cache_hit) rec.set("cache_hit", true);
       if (a.dedup) rec.set("key", support::hex128(r.key_hi, r.key_lo));
+      if (!r.rec.trace.empty()) rec.set("trace", r.rec.trace);
       records.push_back(std::move(rec));
     }
     c.set("records", std::move(records));
@@ -323,6 +380,7 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
       c.set("device", a.device);
       c.set("label", a.label);
       c.set("entry", a.entry);
+      c.set("engine", a.engine);
       c.set("fingerprint", a.fingerprint);
       c.set("total_scenarios", a.total_scenarios);
       c.set("sample_size", a.sample_size);
@@ -330,6 +388,8 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
       c.set("slice_end", a.slice_end);
       c.set("clean_fingerprint", a.clean_fingerprint);
       c.set("triggered", a.triggered);
+      c.set("baseline_steps", a.baseline_steps);
+      c.set("baseline_opcodes", opcode_profile_to_json(a.baseline_opcodes));
 
       JsonValue tally = JsonValue::object();
       for (const auto& [outcome, count] : a.tally.scenarios) {
@@ -349,14 +409,21 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
           rec.set("value", static_cast<int64_t>(r.plan.value));
         }
         rec.set("outcome", fault_outcome_short(r.outcome));
+        rec.set("steps", r.steps);
         if (!r.detail.empty()) rec.set("detail", r.detail);
         if (r.triggered) rec.set("triggered", true);
+        if (!r.trace.empty()) rec.set("trace", r.trace);
         records.push_back(std::move(rec));
       }
       c.set("records", std::move(records));
       fault_campaigns.push_back(std::move(c));
     }
     root.set("fault_campaigns", std::move(fault_campaigns));
+  }
+  // Optional embedded process telemetry (timings only — the merge
+  // aggregates it but never validates against it).
+  if (bundle.has_metrics) {
+    root.set("metrics", process_metrics_to_json(bundle.metrics));
   }
   return to_json(root);
 }
@@ -370,6 +437,7 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
   a.label = require_string(c, "label", ctx);
   ctx = "campaign " + a.device + "/" + a.label;
   a.entry = require_string(c, "entry", ctx);
+  a.engine = require_string(c, "engine", ctx);
   a.fingerprint = require_string(c, "fingerprint", ctx);
   a.dedup = require(c, "dedup", ctx).as_bool();
   a.sample_size = require_size(c, "sample_size", ctx);
@@ -380,6 +448,10 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
   a.clean_fingerprint = require(c, "clean_fingerprint", ctx).as_int();
   a.deduped_mutants = require_size(c, "deduped_mutants", ctx);
   a.prefix_cache_hits = require_size(c, "prefix_cache_hits", ctx);
+  a.baseline_steps = static_cast<uint64_t>(
+      require_size(c, "baseline_steps", ctx));
+  a.baseline_opcodes = opcode_profile_from_json(
+      require(c, "baseline_opcodes", ctx), ctx + " baseline_opcodes");
 
   if (a.slice_begin > a.slice_end || a.slice_end > a.sample_size) {
     throw std::runtime_error(ctx + ": slice [" +
@@ -407,11 +479,15 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
     r.rec.site = require_size(rj, "site", rctx);
     r.rec.outcome =
         outcome_from_short(require_string(rj, "outcome", rctx), rctx);
+    r.rec.steps = static_cast<uint64_t>(require_size(rj, "steps", rctx));
     if (const support::JsonValue* detail = rj.find("detail")) {
       r.rec.detail = detail->as_string();
     }
     r.rec.deduped = optional_flag(rj, "deduped");
     r.cache_hit = optional_flag(rj, "cache_hit");
+    if (const support::JsonValue* trace = rj.find("trace")) {
+      r.rec.trace = trace->as_string();
+    }
     if (a.dedup) {
       std::tie(r.key_hi, r.key_lo) =
           parse_hex128(require_string(rj, "key", rctx), rctx + " field 'key'");
@@ -464,6 +540,7 @@ FaultShardArtifact parse_fault_artifact(const support::JsonValue& c,
   a.label = require_string(c, "label", ctx);
   ctx = "fault campaign " + a.device + "/" + a.label;
   a.entry = require_string(c, "entry", ctx);
+  a.engine = require_string(c, "engine", ctx);
   a.fingerprint = require_string(c, "fingerprint", ctx);
   a.total_scenarios = require_size(c, "total_scenarios", ctx);
   a.sample_size = require_size(c, "sample_size", ctx);
@@ -471,6 +548,10 @@ FaultShardArtifact parse_fault_artifact(const support::JsonValue& c,
   a.slice_end = require_size(c, "slice_end", ctx);
   a.clean_fingerprint = require(c, "clean_fingerprint", ctx).as_int();
   a.triggered = require_size(c, "triggered", ctx);
+  a.baseline_steps = static_cast<uint64_t>(
+      require_size(c, "baseline_steps", ctx));
+  a.baseline_opcodes = opcode_profile_from_json(
+      require(c, "baseline_opcodes", ctx), ctx + " baseline_opcodes");
 
   if (a.sample_size > a.total_scenarios) {
     throw std::runtime_error(ctx + ": sample of " +
@@ -509,10 +590,14 @@ FaultShardArtifact parse_fault_artifact(const support::JsonValue& c,
     r.plan.value = static_cast<uint32_t>(optional_size(rj, "value", rctx));
     r.outcome =
         fault_outcome_from_short(require_string(rj, "outcome", rctx), rctx);
+    r.steps = static_cast<uint64_t>(require_size(rj, "steps", rctx));
     if (const support::JsonValue* detail = rj.find("detail")) {
       r.detail = detail->as_string();
     }
     r.triggered = optional_flag(rj, "triggered");
+    if (const support::JsonValue* trace = rj.find("trace")) {
+      r.trace = trace->as_string();
+    }
     if (!r.triggered && r.outcome != FaultOutcome::kCleanBoot) {
       throw std::runtime_error(rctx + ": untriggered scenario with outcome '" +
                                fault_outcome_short(r.outcome) +
@@ -597,6 +682,10 @@ ShardBundle parse_shard_bundle(const std::string& text) {
             parse_fault_artifact(fault_campaigns[i], i));
       }
     }
+    if (const support::JsonValue* metrics = root.find("metrics")) {
+      bundle.has_metrics = true;
+      bundle.metrics = process_metrics_from_json(*metrics, "shard metrics");
+    }
     return bundle;
   } catch (const support::JsonError& e) {
     // Type errors from as_int()/as_string() on present-but-wrong fields.
@@ -605,11 +694,40 @@ ShardBundle parse_shard_bundle(const std::string& text) {
   }
 }
 
-void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
-  // Atomic write: serialize to `<path>.tmp`, rename over `path` only after
-  // a successful flush+close. A crash, full disk or unwritable directory
-  // never leaves a partial artifact at `path` (and never clobbers a good
-  // one already there); failures remove the temporary and throw.
+CampaignMetricsRow shard_metrics_row(const ShardArtifact& a) {
+  // Reassemble a slice-shaped campaign result and reuse the canonical row
+  // builder, so shard-local rows and full-run rows can never drift.
+  DriverCampaignResult res;
+  res.device = a.device;
+  res.entry = a.entry;
+  res.deduped_mutants = a.deduped_mutants;
+  res.prefix_cache_hits = a.prefix_cache_hits;
+  res.tally = a.tally;
+  res.baseline_steps = a.baseline_steps;
+  res.baseline_opcodes = a.baseline_opcodes;
+  res.records.reserve(a.records.size());
+  for (const ShardRecord& r : a.records) res.records.push_back(r.rec);
+  return campaign_metrics_row(res, a.label, a.engine);
+}
+
+CampaignMetricsRow shard_fault_metrics_row(const FaultShardArtifact& a) {
+  FaultCampaignResult res;
+  res.device = a.device;
+  res.entry = a.entry;
+  res.triggered_scenarios = a.triggered;
+  res.tally = a.tally;
+  res.baseline_steps = a.baseline_steps;
+  res.baseline_opcodes = a.baseline_opcodes;
+  res.records = a.records;
+  return fault_metrics_row(res, a.label, a.engine);
+}
+
+void write_artifact_atomically(const std::string& path,
+                               const std::string& text) {
+  // Atomic write: the bytes go to `<path>.tmp`, renamed over `path` only
+  // after a successful flush+close. A crash, full disk or unwritable
+  // directory never leaves a partial artifact at `path` (and never clobbers
+  // a good one already there); failures remove the temporary and throw.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -617,7 +735,6 @@ void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
       throw ArtifactWriteError(tmp + ": cannot open for writing (does the "
                                "directory exist and allow writes?)");
     }
-    std::string text = serialize_shard_bundle(bundle);
     out.write(text.data(), static_cast<std::streamsize>(text.size()));
     out.put('\n');
     out.flush();
@@ -633,6 +750,10 @@ void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
     throw ArtifactWriteError(path + ": cannot rename temporary artifact into "
                              "place: " + why);
   }
+}
+
+void save_shard_bundle(const std::string& path, const ShardBundle& bundle) {
+  write_artifact_atomically(path, serialize_shard_bundle(bundle));
 }
 
 ShardBundle load_shard_bundle(const std::string& path) {

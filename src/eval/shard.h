@@ -21,6 +21,7 @@
 
 #include "eval/driver_campaign.h"
 #include "eval/fault_campaign.h"
+#include "eval/metrics.h"
 
 namespace eval {
 
@@ -62,6 +63,7 @@ struct ShardArtifact {
   std::string device;
   std::string label;
   std::string entry;
+  std::string engine;  // minic::exec_engine_name of the engine that ran
   std::string fingerprint;
   bool dedup = true;
 
@@ -76,6 +78,11 @@ struct ShardArtifact {
   size_t prefix_cache_hits = 0;  // shard-local
   Tally tally;                   // shard-local, over `records`
 
+  /// Deterministic baseline telemetry (DriverCampaignResult): every shard
+  /// recomputes identical values; the merge validates agreement.
+  uint64_t baseline_steps = 0;
+  minic::bytecode::OpcodeProfile baseline_opcodes;
+
   std::vector<ShardRecord> records;
 };
 
@@ -88,6 +95,7 @@ struct FaultShardArtifact {
   std::string device;
   std::string label;
   std::string entry;
+  std::string engine;  // minic::exec_engine_name of the engine that ran
   std::string fingerprint;
 
   size_t total_scenarios = 0;  // full matrix, before sampling
@@ -98,6 +106,10 @@ struct FaultShardArtifact {
 
   size_t triggered = 0;  // shard-local: records whose fault fired
   FaultTally tally;      // shard-local, over `records`
+
+  /// Deterministic baseline telemetry, as on ShardArtifact.
+  uint64_t baseline_steps = 0;
+  minic::bytecode::OpcodeProfile baseline_opcodes;
 
   std::vector<FaultRecord> records;
 };
@@ -110,6 +122,11 @@ struct ShardBundle {
   ShardSpec shard;
   std::vector<ShardArtifact> campaigns;
   std::vector<FaultShardArtifact> fault_campaigns;
+  /// Optional process telemetry for this shard (the CLI embeds it when run
+  /// with `--metrics`). Timings only — never part of merge validation; the
+  /// merge aggregates whatever bundles carry it (eval/merge.h).
+  bool has_metrics = false;
+  ProcessMetrics metrics;
 };
 
 /// Fingerprint of everything in `config` that determines campaign results
@@ -156,6 +173,20 @@ class ArtifactWriteError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Shard-local metrics rows (eval/metrics.h): the deterministic counters of
+/// one artifact's slice. Only comparable against the same slice — the
+/// merged artifact's rows are the globally comparable ones.
+[[nodiscard]] CampaignMetricsRow shard_metrics_row(const ShardArtifact& a);
+[[nodiscard]] CampaignMetricsRow shard_fault_metrics_row(
+    const FaultShardArtifact& a);
+
+/// Atomically writes `text` (plus a trailing newline) to `path` via the
+/// `<path>.tmp` + rename protocol described on ArtifactWriteError. Shared by
+/// every artifact writer (shard bundles, metrics artifacts) so they all have
+/// the same crash/full-disk story and diagnostics.
+void write_artifact_atomically(const std::string& path,
+                               const std::string& text);
 
 /// File convenience wrappers. save is atomic: the bundle is written to
 /// `<path>.tmp` and renamed over `path` only after a successful flush, so a

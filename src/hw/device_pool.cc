@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/metrics.h"
+
 namespace hw {
 
 DevicePool::DevicePool(Factory factory) : factory_(std::move(factory)) {}
@@ -32,11 +34,13 @@ std::shared_ptr<Device> DevicePool::acquire() {
     // release-side use_count guard keeps shared devices out of the pool),
     // and the lock hand-off orders the previous boot's writes before it.
     dev->reset();
+    support::Metrics::add_pool_recycled(1);
     return dev;
   }
   if (!factory) {
     throw std::logic_error("DevicePool: no device factory configured");
   }
+  support::Metrics::add_pool_fresh(1);
   // The factory also runs unlocked; it must be thread-safe.
   return factory();
 }

@@ -1,0 +1,79 @@
+// Port-I/O flight recorder: a ring-buffer `hw::Device` shim.
+//
+// Wraps any device (including a `FaultInjector` — map the recorder
+// outermost so it sees exactly the driver-visible traffic) and records the
+// last N port accesses: absolute port, direction, the value the driver
+// wrote or actually read (post-fault), the access width, and the number of
+// interpreter steps retired when the access happened. The step stamp comes
+// from the `IoEnvironment` step probe, which both engines bind to their
+// live budget counter — and because the charge discipline is
+// engine-invariant, the rendered trace is byte-identical between the
+// bytecode VM and the tree walker (a differential oracle in its own right;
+// tests/test_flight_recorder.cc enforces it).
+//
+// On a non-clean boot the campaign engines render the tail as a post-mortem
+// and attach it to the mutant/fault record: the Devil thesis in miniature —
+// the misbehaviour becomes legible at the faulting access.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/io_bus.h"
+
+namespace hw {
+
+/// One recorded port access.
+struct RecordedAccess {
+  uint64_t seq = 0;    // 0-based index in the full access stream
+  uint64_t step = 0;   // interpreter steps retired when the access happened
+  uint32_t port = 0;   // absolute port (base + offset)
+  uint32_t value = 0;  // value written, or value the driver actually read
+  int width = 8;
+  bool is_write = false;
+};
+
+class FlightRecorder final : public Device {
+ public:
+  static constexpr size_t kDefaultCapacity = 16;
+
+  /// `port_base` is the bus base the recorder will be mapped at (it turns
+  /// relative offsets back into absolute ports); `env` is the bus whose
+  /// step probe stamps each access — pass the `IoBus` the recorder is
+  /// mapped on. Both must outlive the recorder.
+  FlightRecorder(std::shared_ptr<Device> inner, uint32_t port_base,
+                 const minic::IoEnvironment* env,
+                 size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  uint32_t read(uint32_t offset, int width) override;
+  void write(uint32_t offset, uint32_t value, int width) override;
+  void reset() override;  // forwards and clears the ring
+  [[nodiscard]] bool damaged() const override { return inner_->damaged(); }
+  [[nodiscard]] std::string damage_note() const override {
+    return inner_->damage_note();
+  }
+
+  /// Total accesses seen since the last reset (>= tail().size()).
+  [[nodiscard]] uint64_t total_accesses() const { return total_; }
+  /// The retained tail, oldest first.
+  [[nodiscard]] std::vector<RecordedAccess> tail() const;
+  /// Deterministic post-mortem rendering of the tail, one line per access.
+  [[nodiscard]] std::string render_tail() const;
+
+  [[nodiscard]] const std::shared_ptr<Device>& inner() const { return inner_; }
+
+ private:
+  void record(bool is_write, uint32_t offset, uint32_t value, int width);
+
+  std::shared_ptr<Device> inner_;
+  uint32_t port_base_;
+  const minic::IoEnvironment* env_;
+  std::vector<RecordedAccess> ring_;
+  size_t capacity_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hw

@@ -24,6 +24,7 @@
 // walker's mark_line calls one for one.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -158,6 +159,30 @@ enum class Op : uint8_t {
   kDilValInt,       // C  : R[a].i = R[b].i
   kDilValStruct,    // C  : R[a].i = R[b].fields[2].i (0 when absent)
   kUnreachable,     // C  : throw Fault{kInternal, strings[imm]}
+};
+
+/// Number of opcodes; the per-opcode execution profile is indexed by
+/// `static_cast<size_t>(Op)`.
+inline constexpr size_t kOpCount = static_cast<size_t>(Op::kUnreachable) + 1;
+
+/// Stable mnemonic for an opcode (the enumerator name without the `k`),
+/// used as the key in exported opcode profiles.
+[[nodiscard]] const char* op_name(Op op);
+
+/// Per-opcode dispatch counts of one VM run. Deterministic for a given
+/// module + entry + budget (the dispatch sequence is), so a baseline boot's
+/// profile is campaign telemetry that survives shard merges byte-for-byte.
+struct OpcodeProfile {
+  std::array<uint64_t, kOpCount> counts{};
+
+  [[nodiscard]] uint64_t total() const {
+    uint64_t n = 0;
+    for (uint64_t c : counts) n += c;
+    return n;
+  }
+  friend bool operator==(const OpcodeProfile& a, const OpcodeProfile& b) {
+    return a.counts == b.counts;
+  }
 };
 
 /// One instruction. `w` packs an integer coercion (bits | 0x80 when signed)

@@ -111,6 +111,7 @@ void Vm::pop_frame() {
   frames_.pop_back();
 }
 
+template <bool kProfile>
 VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
                  RunOutcome& out) {
   if (counts_depth && ++depth_ > kMaxCallDepth) {
@@ -141,6 +142,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
 
   for (;;) {
     const Insn& in = code[pc++];
+    if constexpr (kProfile) ++profile_->counts[static_cast<size_t>(in.op)];
     switch (in.op) {
       // --- statement accounting ------------------------------------------
       case Op::kStep:
@@ -790,6 +792,24 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
   }
 }
 
+template <bool kProfile>
+void Vm::run_body(const std::string& entry, RunOutcome& out) {
+  // A spliced module initialises the prefix's globals from the shared
+  // segment's code, then its own tail globals — the same order (and the
+  // same charges) as one concatenated initialiser.
+  if (mod_.prefix) {
+    exec<kProfile>(mod_.prefix->globals_init, /*counts_depth=*/false, out);
+  }
+  exec<kProfile>(mod_.globals_init, /*counts_depth=*/false, out);
+  const uint32_t* entry_ix = mod_.find_fn(entry);
+  if (!entry_ix) {
+    throw Fault{FaultKind::kInternal, "missing function " + entry};
+  }
+  VmValue result =
+      exec<kProfile>(*mod_.fn_table[*entry_ix], /*counts_depth=*/true, out);
+  out.return_value = result.i;
+}
+
 RunOutcome Vm::run(const std::string& entry) {
   RunOutcome out;
   steps_left_ = budget_;
@@ -798,19 +818,13 @@ RunOutcome Vm::run(const std::string& entry) {
   while (!frames_.empty()) pop_frame();
   globals_.clear();
   globals_.resize(mod_.global_count);
+  io_.bind_step_probe(&steps_left_, budget_);
   try {
-    // A spliced module initialises the prefix's globals from the shared
-    // segment's code, then its own tail globals — the same order (and the
-    // same charges) as one concatenated initialiser.
-    if (mod_.prefix) exec(mod_.prefix->globals_init, /*counts_depth=*/false, out);
-    exec(mod_.globals_init, /*counts_depth=*/false, out);
-    const uint32_t* entry_ix = mod_.find_fn(entry);
-    if (!entry_ix) {
-      throw Fault{FaultKind::kInternal, "missing function " + entry};
+    if (profile_ != nullptr) {
+      run_body<true>(entry, out);
+    } else {
+      run_body<false>(entry, out);
     }
-    VmValue result =
-        exec(*mod_.fn_table[*entry_ix], /*counts_depth=*/true, out);
-    out.return_value = result.i;
   } catch (const Fault& f) {
     out.fault = f.kind;
     out.fault_message = f.message;

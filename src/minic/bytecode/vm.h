@@ -24,9 +24,18 @@ class Vm {
   /// the outcome; never throws.
   [[nodiscard]] RunOutcome run(const std::string& entry);
 
+  /// Optional per-opcode dispatch profile: when set before run(), every
+  /// dispatched instruction bumps `profile->counts[op]`. The counting and
+  /// non-counting dispatch loops are separate template instantiations, so
+  /// runs with the profile unset (every campaign mutant boot) pay nothing.
+  void set_opcode_profile(OpcodeProfile* profile) { profile_ = profile; }
+
  private:
+  template <bool kProfile>
   VmValue exec(const CompiledFunction& fn, bool counts_depth,
                RunOutcome& out);
+  template <bool kProfile>
+  void run_body(const std::string& entry, RunOutcome& out);
   void push_frame(const CompiledFunction& fn, const VmValue* caller_regs,
                   uint32_t argbase);
   void pop_frame();
@@ -50,6 +59,7 @@ class Vm {
   };
   std::vector<Activation> calls_;
   std::vector<VmValue> globals_;
+  OpcodeProfile* profile_ = nullptr;
 };
 
 }  // namespace minic::bytecode

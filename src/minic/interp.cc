@@ -79,6 +79,7 @@ class Machine {
           RunOutcome& out)
       : unit_(unit), io_(io), budget_(budget), steps_left_(budget),
         out_(out) {
+    io_.bind_step_probe(&steps_left_, budget_);
     structs_.reserve(unit_.structs.size());
     for (const auto& sd : unit_.structs) structs_[sd.name] = &sd;
   }

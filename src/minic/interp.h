@@ -47,6 +47,24 @@ class IoEnvironment {
   /// width is 8, 16 or 32. May throw Fault{kBusFault} for unmapped ports.
   virtual uint32_t io_in(uint32_t port, int width) = 0;
   virtual void io_out(uint32_t port, uint32_t value, int width) = 0;
+
+  /// Step probe: both engines bind their live budget counter here at run
+  /// start, so devices (the flight recorder) can stamp each port access with
+  /// the number of interpreter steps retired when it happened. The charge
+  /// discipline is engine-invariant (the budget-sweep differential suites
+  /// pin it), so the stamps are too.
+  void bind_step_probe(const uint64_t* steps_left, uint64_t budget) {
+    probe_steps_left_ = steps_left;
+    probe_budget_ = budget;
+  }
+  [[nodiscard]] uint64_t steps_retired() const {
+    return probe_steps_left_ != nullptr ? probe_budget_ - *probe_steps_left_
+                                        : 0;
+  }
+
+ private:
+  const uint64_t* probe_steps_left_ = nullptr;
+  uint64_t probe_budget_ = 0;
 };
 
 struct RunOutcome {

@@ -7,20 +7,28 @@
 #include "minic/lexer.h"
 #include "minic/parser.h"
 #include "minic/typecheck.h"
+#include "support/metrics.h"
 
 namespace minic {
 
 namespace {
 
+using support::Stage;
+using support::StageTimer;
+
 /// Parse + typecheck a finished token stream into `prog`.
 void finish_compile(Program& prog, std::vector<Token> tokens,
                     std::map<std::string, std::set<uint32_t>> macro_use_lines) {
-  Parser parser(std::move(tokens), prog.diags);
-  auto unit = parser.parse();
-  if (!unit) return;
-  unit->macro_use_lines = std::move(macro_use_lines);
-
-  auto owned = std::make_unique<Unit>(std::move(*unit));
+  std::unique_ptr<Unit> owned;
+  {
+    StageTimer timer(Stage::kParse);
+    Parser parser(std::move(tokens), prog.diags);
+    auto unit = parser.parse();
+    if (!unit) return;
+    unit->macro_use_lines = std::move(macro_use_lines);
+    owned = std::make_unique<Unit>(std::move(*unit));
+  }
+  StageTimer timer(Stage::kTypecheck);
   if (!typecheck(*owned, prog.diags)) return;
   prog.unit = std::move(owned);
 }
@@ -30,7 +38,10 @@ void finish_compile(Program& prog, std::vector<Token> tokens,
 Program compile(const std::string& name, const std::string& source) {
   Program prog;
   support::SourceBuffer buf(name, source);
-  LexOutput lexed = lex_unit(buf, prog.diags);
+  LexOutput lexed = [&] {
+    StageTimer timer(Stage::kLex);
+    return lex_unit(buf, prog.diags);
+  }();
   if (prog.diags.has_errors()) return prog;
 
   finish_compile(prog, std::move(lexed.tokens),
@@ -96,6 +107,7 @@ SplicedProgram spliced_from_whole_unit(const PreparedPrefix& prefix,
   if (!prog.unit) return out;
   out.macro_use_lines = std::move(prog.unit->macro_use_lines);
   try {
+    StageTimer timer(Stage::kLower);
     out.module = std::make_shared<bytecode::Module>(
         bytecode::compile_unit(*prog.unit));
   } catch (const Fault& f) {
@@ -119,7 +131,10 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
   LexOptions options;
   options.seed_macros = &prefix.macros;
   options.line_offset = prefix.lines;
-  LexOutput lexed = lex_unit(buf, out.diags, options);
+  LexOutput lexed = [&] {
+    StageTimer timer(Stage::kLex);
+    return lex_unit(buf, out.diags, options);
+  }();
   if (out.diags.has_errors()) return out;
 
   out.macro_use_lines = prefix.macro_use_lines;
@@ -127,12 +142,17 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
     out.macro_use_lines[name].insert(lines.begin(), lines.end());
   }
 
-  Parser parser(std::move(lexed.tokens), out.diags);
-  auto tail_unit = parser.parse();
+  auto tail_unit = [&] {
+    StageTimer timer(Stage::kParse);
+    Parser parser(std::move(lexed.tokens), out.diags);
+    return parser.parse();
+  }();
   if (!tail_unit) return out;
   bool needs_whole_unit = false;
-  bool checked =
-      typecheck_tail(*tail_unit, cp.symbols, out.diags, &needs_whole_unit);
+  bool checked = [&] {
+    StageTimer timer(Stage::kTypecheck);
+    return typecheck_tail(*tail_unit, cp.symbols, out.diags, &needs_whole_unit);
+  }();
   if (needs_whole_unit) {
     // A tail declaration shadows a prefix symbol in a way whose diagnostics
     // (or acceptance) only whole-unit checking reproduces.
@@ -143,6 +163,7 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
   if (!checked) return out;
 
   try {
+    StageTimer timer(Stage::kSplice);
     out.module = std::make_shared<bytecode::Module>(
         bytecode::compile_tail_unit(cp.segment, cp.unit, *tail_unit));
   } catch (const Fault& f) {
@@ -152,8 +173,11 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
 }
 
 RunOutcome run_module(const bytecode::Module& module, IoEnvironment& io,
-                      const std::string& entry, uint64_t step_budget) {
+                      const std::string& entry, uint64_t step_budget,
+                      bytecode::OpcodeProfile* profile) {
+  StageTimer timer(Stage::kBoot);
   bytecode::Vm vm(module, io, step_budget);
+  if (profile != nullptr) vm.set_opcode_profile(profile);
   return vm.run(entry);
 }
 
@@ -164,7 +188,10 @@ Program compile_with_prefix(const PreparedPrefix& prefix,
   LexOptions options;
   options.seed_macros = &prefix.macros;
   options.line_offset = prefix.lines;
-  LexOutput lexed = lex_unit(buf, prog.diags, options);
+  LexOutput lexed = [&] {
+    StageTimer timer(Stage::kLex);
+    return lex_unit(buf, prog.diags, options);
+  }();
   if (prog.diags.has_errors()) return prog;
 
   std::vector<Token> tokens;
@@ -191,14 +218,20 @@ const char* exec_engine_name(ExecEngine e) {
 
 RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
                     const std::string& entry, uint64_t step_budget,
-                    ExecEngine engine) {
+                    ExecEngine engine, bytecode::OpcodeProfile* profile) {
   if (engine == ExecEngine::kTreeWalker) {
+    StageTimer timer(Stage::kBoot);
     Interp interp(unit, io, step_budget);
     return interp.run(entry);
   }
   try {
-    bytecode::Module module = bytecode::compile_unit(unit);
+    bytecode::Module module = [&] {
+      StageTimer timer(Stage::kLower);
+      return bytecode::compile_unit(unit);
+    }();
+    StageTimer timer(Stage::kBoot);
     bytecode::Vm vm(module, io, step_budget);
+    if (profile != nullptr) vm.set_opcode_profile(profile);
     return vm.run(entry);
   } catch (const Fault& f) {
     // Lowering rejected the unit: the walker's equivalent is a runtime

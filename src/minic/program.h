@@ -41,11 +41,14 @@ enum class ExecEngine {
 
 /// Runs `entry` in a typechecked unit on the chosen engine. The bytecode
 /// path lowers the unit first; lowering problems surface as kInternal
-/// outcomes, exactly like the walker's runtime invariant faults.
+/// outcomes, exactly like the walker's runtime invariant faults. A non-null
+/// `profile` accumulates per-opcode dispatch counts (VM engine only; the
+/// walker has no opcodes and leaves it untouched).
 [[nodiscard]] RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
                                   const std::string& entry,
                                   uint64_t step_budget = 2'000'000,
-                                  ExecEngine engine = ExecEngine::kBytecodeVm);
+                                  ExecEngine engine = ExecEngine::kBytecodeVm,
+                                  bytecode::OpcodeProfile* profile = nullptr);
 
 /// Compiles and runs `entry` against `io` in one call (tests, examples).
 [[nodiscard]] RunOutcome compile_and_run(
@@ -147,9 +150,10 @@ struct SplicedProgram {
 
 /// Runs `entry` in a spliced module on the bytecode VM. The walker has no
 /// module form — use `run_unit` with a whole-unit Program for the oracle.
-[[nodiscard]] RunOutcome run_module(const bytecode::Module& module,
-                                    IoEnvironment& io,
-                                    const std::string& entry,
-                                    uint64_t step_budget = 2'000'000);
+/// A non-null `profile` accumulates per-opcode dispatch counts.
+[[nodiscard]] RunOutcome run_module(
+    const bytecode::Module& module, IoEnvironment& io,
+    const std::string& entry, uint64_t step_budget = 2'000'000,
+    bytecode::OpcodeProfile* profile = nullptr);
 
 }  // namespace minic

@@ -20,9 +20,17 @@ unsigned resolve_threads(unsigned requested, size_t jobs) {
 
 void parallel_for(size_t jobs, unsigned threads,
                   const std::function<void(size_t)>& fn) {
+  parallel_for(jobs, threads, fn, nullptr);
+}
+
+void parallel_for(size_t jobs, unsigned threads,
+                  const std::function<void(size_t)>& fn,
+                  std::vector<uint64_t>* worker_shares) {
   threads = resolve_threads(threads, jobs);
+  if (worker_shares != nullptr) worker_shares->assign(threads, 0);
   if (threads <= 1) {
     for (size_t i = 0; i < jobs; ++i) fn(i);
+    if (worker_shares != nullptr && threads == 1) (*worker_shares)[0] = jobs;
     return;
   }
 
@@ -31,10 +39,11 @@ void parallel_for(size_t jobs, unsigned threads,
   size_t first_error_index = std::numeric_limits<size_t>::max();
   std::exception_ptr first_error;
 
-  auto worker = [&] {
+  auto worker = [&](unsigned slot) {
     for (;;) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs) return;
+      if (worker_shares != nullptr) ++(*worker_shares)[slot];
       try {
         fn(i);
       } catch (...) {
@@ -49,8 +58,8 @@ void parallel_for(size_t jobs, unsigned threads,
 
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
-  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread participates
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);  // the calling thread participates
   for (auto& th : pool) th.join();
 
   if (first_error) std::rethrow_exception(first_error);

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace support {
 
@@ -27,5 +29,14 @@ namespace support {
 /// loop that kept going would surface first.
 void parallel_for(size_t jobs, unsigned threads,
                   const std::function<void(size_t)>& fn);
+
+/// Same contract, but additionally reports how many indices each worker
+/// executed: `*worker_shares` is resized to the resolved thread count and
+/// slot t holds worker t's index count (slot 0 is the calling thread).
+/// Telemetry only — the shares depend on scheduling and are never part of
+/// deterministic output.
+void parallel_for(size_t jobs, unsigned threads,
+                  const std::function<void(size_t)>& fn,
+                  std::vector<uint64_t>* worker_shares);
 
 }  // namespace support

@@ -6,13 +6,23 @@
 
 namespace support {
 
-std::string TextTable::render() const {
+std::vector<size_t> TextTable::measure() const {
   std::vector<size_t> widths(header_.size());
   for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
   for (const auto& row : rows_) {
     for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());
     }
+  }
+  return widths;
+}
+
+std::string TextTable::render() const { return render({}); }
+
+std::string TextTable::render(const std::vector<size_t>& min_widths) const {
+  std::vector<size_t> widths = measure();
+  for (size_t c = 0; c < widths.size() && c < min_widths.size(); ++c) {
+    widths[c] = std::max(widths[c], min_widths[c]);
   }
 
   auto hline = [&] {

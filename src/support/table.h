@@ -19,6 +19,17 @@ class TextTable {
 
   [[nodiscard]] std::string render() const;
 
+  /// Natural column widths (per column: the widest of header and cells).
+  /// Feed the element-wise max of several tables' measures back into
+  /// render(min_widths) to align a group of tables.
+  [[nodiscard]] std::vector<size_t> measure() const;
+
+  /// Renders with every column at least `min_widths[c]` wide (element-wise
+  /// max with the natural widths). Missing entries default to 0, so
+  /// render({}) == render().
+  [[nodiscard]] std::string render(
+      const std::vector<size_t>& min_widths) const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

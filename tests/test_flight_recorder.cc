@@ -1,0 +1,258 @@
+// Port-I/O flight recorder: ring semantics, composition with the fault
+// injector, and the differential guarantee the observability layer gets for
+// free — because the step-charge discipline is engine-invariant, the
+// bytecode VM and the tree walker must produce byte-identical post-mortem
+// traces for clean boots, mutant boots and faulted boots on every corpus
+// device.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/drivers.h"
+#include "corpus/specs.h"
+#include "devil/compiler.h"
+#include "eval/device_bindings.h"
+#include "eval/driver_campaign.h"
+#include "eval/fault_campaign.h"
+#include "hw/fault_injection.h"
+#include "hw/flight_recorder.h"
+#include "hw/io_bus.h"
+#include "minic/program.h"
+
+namespace {
+
+using eval::DriverCampaignConfig;
+using eval::FaultCampaignConfig;
+
+/// Deterministic scratch device: reads echo 0x40 + offset, writes count.
+class ScratchDevice final : public hw::Device {
+ public:
+  [[nodiscard]] std::string name() const override { return "scratch"; }
+  uint32_t read(uint32_t offset, int) override { return 0x40u + offset; }
+  void write(uint32_t, uint32_t, int) override { ++writes_; }
+  void reset() override { writes_ = 0; }
+  [[nodiscard]] uint64_t writes() const { return writes_; }
+
+ private:
+  uint64_t writes_ = 0;
+};
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+  hw::FlightRecorder rec(std::make_shared<ScratchDevice>(), 0x100, nullptr,
+                         /*capacity=*/4);
+  rec.write(0, 0x11, 8);
+  EXPECT_EQ(rec.read(2, 8), 0x42u);
+  auto tail = rec.tail();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(rec.total_accesses(), 2u);
+  EXPECT_EQ(tail[0].seq, 0u);
+  EXPECT_TRUE(tail[0].is_write);
+  EXPECT_EQ(tail[0].port, 0x100u);
+  EXPECT_EQ(tail[0].value, 0x11u);
+  EXPECT_EQ(tail[1].seq, 1u);
+  EXPECT_FALSE(tail[1].is_write);
+  EXPECT_EQ(tail[1].port, 0x102u);
+  EXPECT_EQ(tail[1].value, 0x42u);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestAccessesOldestFirst) {
+  hw::FlightRecorder rec(std::make_shared<ScratchDevice>(), 0x100, nullptr,
+                         /*capacity=*/4);
+  for (uint32_t i = 0; i < 11; ++i) rec.write(i % 8, i, 8);
+  EXPECT_EQ(rec.total_accesses(), 11u);
+  auto tail = rec.tail();
+  ASSERT_EQ(tail.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].seq, 7u + i) << "tail must be the newest 4, in order";
+    EXPECT_EQ(tail[i].value, 7u + i);
+  }
+}
+
+TEST(FlightRecorder, ResetForwardsAndClearsTheRing) {
+  auto scratch = std::make_shared<ScratchDevice>();
+  hw::FlightRecorder rec(scratch, 0, nullptr, 4);
+  rec.write(0, 1, 8);
+  rec.reset();
+  EXPECT_EQ(rec.total_accesses(), 0u);
+  EXPECT_TRUE(rec.tail().empty());
+  EXPECT_EQ(scratch->writes(), 0u) << "reset must forward to the inner device";
+}
+
+TEST(FlightRecorder, RenderTailFormatIsStable) {
+  hw::FlightRecorder rec(std::make_shared<ScratchDevice>(), 0x1f0, nullptr, 2);
+  rec.write(7, 0xef, 8);
+  (void)rec.read(1, 16);
+  (void)rec.read(0, 8);
+  EXPECT_EQ(rec.render_tail(),
+            "last 2 of 3 port accesses:\n"
+            "  [access 1, step 0] in  0x1f1 -> 0x41 (16-bit)\n"
+            "  [access 2, step 0] in  0x1f0 -> 0x40 (8-bit)");
+}
+
+TEST(FlightRecorder, ComposesOutsideTheFaultInjector) {
+  // Recorder wraps the injector, so the trace shows the value the driver
+  // actually saw — the faulted one — not the healthy device's answer.
+  hw::FaultPlan plan;
+  plan.port = 0x100;
+  plan.kind = hw::FaultKind::kStuckOne;
+  plan.after = 0;
+  plan.mask = 0x80;
+  auto injector = std::make_shared<hw::FaultInjector>(
+      std::make_shared<ScratchDevice>(), 0x100, plan);
+  hw::FlightRecorder rec(injector, 0x100, nullptr, 4);
+  EXPECT_EQ(rec.read(0, 8), 0xc0u);  // 0x40 | stuck-at-1 0x80
+  auto tail = rec.tail();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].value, 0xc0u);
+  EXPECT_EQ(injector->fired(), 1u);
+}
+
+/// The C and CDevil campaign configs for one corpus device, recorder on.
+std::pair<DriverCampaignConfig, DriverCampaignConfig> recorder_configs(
+    const corpus::CampaignDrivers& drivers, minic::ExecEngine engine) {
+  eval::DeviceBinding binding = eval::binding_for(drivers.device);
+
+  DriverCampaignConfig c;
+  c.driver = drivers.c_driver();
+  c.device = binding;
+  c.sample_percent = drivers.sample_percent;
+  c.engine = engine;
+  c.flight_recorder = true;
+
+  auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
+                                  devil::CodegenMode::kDebug);
+  EXPECT_TRUE(spec.ok()) << spec.diags.render();
+  DriverCampaignConfig d;
+  d.stubs = spec.stubs;
+  d.driver = drivers.cdevil_driver();
+  d.device = binding;
+  d.is_cdevil = true;
+  d.sample_percent = drivers.sample_percent;
+  d.engine = engine;
+  d.flight_recorder = true;
+  return {std::move(c), std::move(d)};
+}
+
+void expect_identical_traces(const eval::DriverCampaignResult& vm,
+                             const eval::DriverCampaignResult& walker,
+                             const std::string& what) {
+  ASSERT_EQ(vm.records.size(), walker.records.size()) << what;
+  size_t traced = 0;
+  for (size_t i = 0; i < vm.records.size(); ++i) {
+    EXPECT_EQ(vm.records[i].outcome, walker.records[i].outcome)
+        << what << " record " << i;
+    EXPECT_EQ(vm.records[i].steps, walker.records[i].steps)
+        << what << " record " << i;
+    ASSERT_EQ(vm.records[i].trace, walker.records[i].trace)
+        << what << " record " << i;
+    if (!vm.records[i].trace.empty()) ++traced;
+  }
+  EXPECT_GT(traced, 0u) << what << ": campaign produced no traces at all";
+}
+
+TEST(FlightRecorderDifferential, CleanBootTracesMatchAcrossEngines) {
+  // The unmutated driver booted by hand on each engine, recorder outermost:
+  // the full access stream's tail must render byte-identically.
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    eval::DeviceBinding binding = eval::binding_for(drivers.device);
+    minic::Program prog = minic::compile("driver.c", drivers.c_driver());
+    ASSERT_TRUE(prog.ok()) << drivers.device;
+
+    std::string rendered[2];
+    int slot = 0;
+    for (auto engine :
+         {minic::ExecEngine::kBytecodeVm, minic::ExecEngine::kTreeWalker}) {
+      hw::IoBus bus;
+      auto rec = std::make_shared<hw::FlightRecorder>(
+          binding.make_device(), binding.port_base, &bus);
+      bus.map(binding.port_base, binding.port_span, rec);
+      auto out = minic::run_unit(*prog.unit, bus, binding.entry, 3'000'000,
+                                 engine);
+      EXPECT_EQ(out.fault, minic::FaultKind::kNone) << drivers.device;
+      EXPECT_GT(rec->total_accesses(), 0u) << drivers.device;
+      rendered[slot++] = rec->render_tail();
+    }
+    EXPECT_EQ(rendered[0], rendered[1]) << drivers.device;
+  }
+}
+
+TEST(FlightRecorderDifferential, MutantTracesMatchAcrossEngines) {
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    auto [c_vm, d_vm] =
+        recorder_configs(drivers, minic::ExecEngine::kBytecodeVm);
+    auto [c_wk, d_wk] =
+        recorder_configs(drivers, minic::ExecEngine::kTreeWalker);
+    expect_identical_traces(eval::run_driver_campaign(c_vm),
+                            eval::run_driver_campaign(c_wk),
+                            std::string(drivers.device) + " C");
+    expect_identical_traces(eval::run_driver_campaign(d_vm),
+                            eval::run_driver_campaign(d_wk),
+                            std::string(drivers.device) + " CDevil");
+  }
+}
+
+TEST(FlightRecorderDifferential, FaultedBootTracesMatchAcrossEngines) {
+  for (const auto& drivers : corpus::campaign_drivers()) {
+    auto [c_vm, d_vm] =
+        recorder_configs(drivers, minic::ExecEngine::kBytecodeVm);
+    auto [c_wk, d_wk] =
+        recorder_configs(drivers, minic::ExecEngine::kTreeWalker);
+    for (auto [vm_base, wk_base] :
+         {std::pair{&c_vm, &c_wk}, std::pair{&d_vm, &d_wk}}) {
+      FaultCampaignConfig vm_cfg;
+      vm_cfg.base = *vm_base;
+      vm_cfg.sample_percent = 25;
+      FaultCampaignConfig wk_cfg;
+      wk_cfg.base = *wk_base;
+      wk_cfg.sample_percent = 25;
+      auto vm_res = eval::run_fault_campaign(vm_cfg);
+      auto wk_res = eval::run_fault_campaign(wk_cfg);
+      ASSERT_EQ(vm_res.records.size(), wk_res.records.size());
+      size_t traced = 0;
+      for (size_t i = 0; i < vm_res.records.size(); ++i) {
+        EXPECT_EQ(vm_res.records[i].outcome, wk_res.records[i].outcome)
+            << drivers.device << " scenario record " << i;
+        EXPECT_EQ(vm_res.records[i].steps, wk_res.records[i].steps)
+            << drivers.device << " scenario record " << i;
+        ASSERT_EQ(vm_res.records[i].trace, wk_res.records[i].trace)
+            << drivers.device << " scenario record " << i;
+        if (!vm_res.records[i].trace.empty()) ++traced;
+      }
+      EXPECT_GT(traced, 0u) << drivers.device;
+    }
+  }
+}
+
+TEST(FlightRecorderCampaign, TracesOnlyOnNonCleanRecordsAndOnlyWhenEnabled) {
+  const auto& drivers = corpus::campaign_drivers().front();
+  auto [c_on, d_on] =
+      recorder_configs(drivers, minic::ExecEngine::kBytecodeVm);
+  (void)d_on;
+  auto res_on = eval::run_driver_campaign(c_on);
+  for (const auto& rec : res_on.records) {
+    if (rec.outcome == eval::Outcome::kBoot ||
+        rec.outcome == eval::Outcome::kCompileTime) {
+      EXPECT_TRUE(rec.trace.empty())
+          << "clean boots and compile-time failures carry no post-mortem";
+    }
+  }
+
+  auto c_off = c_on;
+  c_off.flight_recorder = false;
+  auto res_off = eval::run_driver_campaign(c_off);
+  for (const auto& rec : res_off.records) {
+    EXPECT_TRUE(rec.trace.empty()) << "recorder off must mean no traces";
+  }
+  // Beyond the traces, the recorder shim must not perturb the campaign.
+  ASSERT_EQ(res_on.records.size(), res_off.records.size());
+  for (size_t i = 0; i < res_on.records.size(); ++i) {
+    EXPECT_EQ(res_on.records[i].outcome, res_off.records[i].outcome);
+    EXPECT_EQ(res_on.records[i].steps, res_off.records[i].steps);
+  }
+  EXPECT_EQ(res_on.clean_fingerprint, res_off.clean_fingerprint);
+}
+
+}  // namespace
