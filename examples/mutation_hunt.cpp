@@ -21,7 +21,10 @@
 // misbehaves. Each selected device's C and CDevil drivers boot against the
 // deterministic fault-scenario matrix (stuck bits, flipped reads, dropped
 // writes, floating bus, wedged status — eval/fault_campaign.h) and the
-// outcomes are bucketed Tables-3/4-style. Fault campaigns compose with
+// outcomes are bucketed Tables-3/4-style. The interrupt-driven corpora
+// ("ide-irq", "busmouse-irq") add event-fault rows — lost, spurious,
+// storming and delayed interrupts — where the CDevil handlers' in-service
+// guards detect what classic C absorbs. Fault campaigns compose with
 // `--shard`/`--merge` exactly like mutation campaigns.
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +53,19 @@ namespace {
 
 minic::ExecEngine g_engine = minic::ExecEngine::kBytecodeVm;
 bool g_flight_recorder = false;
+uint64_t g_watchdog_ms = 10'000;  // per-boot wall-clock cap (0 = off)
 uint64_t g_start_ns = 0;  // process start, for the metrics wall clock
+
+/// Corpus registry the fault campaigns iterate: the polled devices plus the
+/// interrupt-driven variants (event-fault scenarios need a binding with an
+/// IRQ line). Mutation campaigns stay on the polled corpus, so the paper's
+/// Tables 3/4 are unchanged.
+std::vector<corpus::CampaignDrivers> fault_corpus() {
+  std::vector<corpus::CampaignDrivers> all = corpus::campaign_drivers();
+  const auto& irq = corpus::irq_campaign_drivers();
+  all.insert(all.end(), irq.begin(), irq.end());
+  return all;
+}
 
 void report(const char* label, const std::string& name,
             const std::string& unit) {
@@ -111,6 +126,7 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->c.threads = threads;
   out->c.engine = g_engine;
   out->c.flight_recorder = g_flight_recorder;
+  out->c.watchdog_ms = g_watchdog_ms;
 
   auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
                                   devil::CodegenMode::kDebug);
@@ -127,6 +143,7 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->cdevil.threads = threads;
   out->cdevil.engine = g_engine;
   out->cdevil.flight_recorder = g_flight_recorder;
+  out->cdevil.watchdog_ms = g_watchdog_ms;
   return true;
 }
 
@@ -288,13 +305,41 @@ bool run_device_fault_campaigns(const corpus::CampaignDrivers& drivers,
                  c_res.tally.detected());
     ok = false;
   }
+  // Event-driven corpora additionally assert the margin on the event rows
+  // alone: the CDevil handler's in-service guard must catch interrupt
+  // faults (spurious deliveries) the classic C driver absorbs silently.
+  auto event_detected = [](const eval::FaultCampaignResult& r) {
+    size_t n = 0;
+    for (const auto& rec : r.records) {
+      if (rec.plan.is_event_fault() &&
+          (rec.outcome == eval::FaultOutcome::kDevilCheck ||
+           rec.outcome == eval::FaultOutcome::kDriverPanic)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  bool has_event_rows = false;
+  for (const auto& rec : c_res.records) {
+    if (rec.plan.is_event_fault()) {
+      has_event_rows = true;
+      break;
+    }
+  }
+  if (has_event_rows && event_detected(d_res) <= event_detected(c_res)) {
+    std::fprintf(stderr, "FAIL: %s CDevil driver detected %zu event faults, "
+                 "not strictly more than the C driver's %zu\n",
+                 drivers.device, event_detected(d_res),
+                 event_detected(c_res));
+    ok = false;
+  }
   return ok;
 }
 
 void print_unknown_device(const std::string& device_filter) {
   std::fprintf(stderr, "unknown --device '%s' (known: all",
                device_filter.c_str());
-  for (const auto& drivers : corpus::campaign_drivers()) {
+  for (const auto& drivers : fault_corpus()) {
     std::fprintf(stderr, ", %s", drivers.device);
   }
   std::fprintf(stderr, ")\n");
@@ -302,7 +347,7 @@ void print_unknown_device(const std::string& device_filter) {
 
 bool known_device(const std::string& device_filter) {
   if (device_filter == "all") return true;
-  for (const auto& drivers : corpus::campaign_drivers()) {
+  for (const auto& drivers : fault_corpus()) {
     if (device_filter == drivers.device) return true;
   }
   return false;
@@ -338,7 +383,7 @@ int run_fault_campaigns(unsigned threads, bool assert_counters,
               threads, minic::exec_engine_name(g_engine),
               device_filter.c_str());
   bool ok = true;
-  for (const auto& drivers : corpus::campaign_drivers()) {
+  for (const auto& drivers : fault_corpus()) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
     ok &= run_device_fault_campaigns(drivers, threads, assert_counters,
                                      metrics);
@@ -358,7 +403,9 @@ int run_shard(eval::ShardSpec spec, const std::string& out_path,
               bool faults, const std::string& metrics_path) {
   eval::ShardBundle bundle;
   bundle.shard = spec;
-  for (const auto& drivers : corpus::campaign_drivers()) {
+  const std::vector<corpus::CampaignDrivers> corpus_list =
+      faults ? fault_corpus() : corpus::campaign_drivers();
+  for (const auto& drivers : corpus_list) {
     if (device_filter != "all" && device_filter != drivers.device) continue;
     if (faults) {
       DeviceFaultConfigs cfgs;
@@ -525,7 +572,9 @@ int usage(std::FILE* to) {
       "\n"
       "Options:\n"
       "  --device NAME        campaign device (default: all)\n"
-      "  --list-devices       print the campaign device names, one per line\n"
+      "  --list-devices       print the campaign device names, one per\n"
+      "                       line; after --faults, lists the fault-campaign\n"
+      "                       corpus (adds the interrupt-driven devices)\n"
       "  --walker             use the tree-walker oracle engine\n"
       "  --metrics FILE       write a campaign metrics artifact to FILE:\n"
       "                       deterministic counters (steps, opcode\n"
@@ -534,6 +583,10 @@ int usage(std::FILE* to) {
       "                       process timings; composes with --faults,\n"
       "                       --shard (also embeds timings in the bundle)\n"
       "                       and --merge (aggregates embedded timings)\n"
+      "  --watchdog-ms N      wall-clock cap per boot in milliseconds; a\n"
+      "                       boot past the cap classifies as a hang and\n"
+      "                       counts a watchdog trip in the metrics timings\n"
+      "                       (default 10000; 0 disables the watchdog)\n"
       "  --progress           throttled records/s + ETA heartbeat on stderr\n"
       "  --flight-recorder    record each boot's last port accesses and\n"
       "                       attach the post-mortem tail to every\n"
@@ -634,10 +687,27 @@ int main(int argc, char** argv) {
         }
         merge_paths.push_back(path);
       }
+    } else if (arg == "--watchdog-ms") {
+      const char* v = value("--watchdog-ms");
+      if (!v) return flag_error("--watchdog-ms needs a value (0 = off)");
+      const std::string text = v;
+      const bool digits =
+          !text.empty() && text.size() <= 8 &&
+          text.find_first_not_of("0123456789") == std::string::npos;
+      if (!digits) {
+        return flag_error("--watchdog-ms: '" + text +
+                          "' is not a millisecond count (0-99999999; "
+                          "0 disables the watchdog)");
+      }
+      g_watchdog_ms = std::strtoul(v, nullptr, 10);
     } else if (arg == "--list-devices") {
       // One name per line, so CI scripts can iterate the corpus registry
-      // instead of hardcoding the device list.
-      for (const auto& drivers : corpus::campaign_drivers()) {
+      // instead of hardcoding the device list. Mode-aware: after --faults
+      // the listing is the fault-campaign corpus, which appends the
+      // interrupt-driven devices to the polled mutation corpus.
+      const std::vector<corpus::CampaignDrivers> listed =
+          faults ? fault_corpus() : corpus::campaign_drivers();
+      for (const auto& drivers : listed) {
         std::printf("%s\n", drivers.device);
       }
       return 0;

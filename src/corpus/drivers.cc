@@ -14,6 +14,16 @@ const std::vector<CampaignDrivers>& campaign_drivers() {
   return cases;
 }
 
+const std::vector<CampaignDrivers>& irq_campaign_drivers() {
+  static const std::vector<CampaignDrivers> cases = {
+      {"ide-irq", "ide.dil", &ide_spec, &c_ide_irq_driver,
+       &cdevil_ide_irq_driver, kIdeIrqEntry, 100},
+      {"busmouse-irq", "busmouse.dil", &busmouse_spec, &c_busmouse_irq_driver,
+       &cdevil_busmouse_irq_driver, kMouseIrqEntry, 100},
+  };
+  return cases;
+}
+
 // ---------------------------------------------------------------------------
 // Classic C IDE driver (hardware operating code in the tagged region).
 // ---------------------------------------------------------------------------
@@ -393,6 +403,430 @@ int mouse_boot() {
   btn = dil_val(get_buttons());
   /* MUT_END */
   state = (btn << 16) | ((dy & 0xff) << 8) | (dx & 0xff);
+  return state + 1000000;
+}
+)";
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt-driven IDE driver: same boot protocol, but command completion is
+// signalled on IRQ 6 and the driver waits on its handler's counter.
+// ---------------------------------------------------------------------------
+const std::string& c_ide_irq_driver() {
+  static const std::string src = R"(
+/* Linux-style IDE driver, interrupt-driven completion (IRQ 6). */
+
+u16 ide_ident[256];
+u16 ide_buf[256];
+int ide_capacity;
+int ide_irq_count;
+
+/* MUT_BEGIN: hardware operating code */
+
+#define IDE_DATA     0x1f0
+#define IDE_NSECTOR  0x1f2
+#define IDE_SECTOR   0x1f3
+#define IDE_LCYL     0x1f4
+#define IDE_HCYL     0x1f5
+#define IDE_SELECT   0x1f6
+#define IDE_STATUS   0x1f7
+#define IDE_COMMAND  0x1f7
+
+#define BUSY_STAT    0x80
+#define READY_STAT   0x40
+#define DRQ_STAT     0x08
+#define BAD_STAT     0x21
+
+#define WIN_READ     0x20
+#define WIN_SPECIFY  0x91
+#define WIN_IDENTIFY 0xec
+
+#define ATA_LBA      0xe0
+
+void ide_intr() {
+  ide_irq_count = ide_irq_count + 1;
+}
+
+void ide_wait_irq(int want) {
+  int tries;
+  tries = 0;
+  while (ide_irq_count < want) {
+    if (tries >= 100) {
+      panic("ide: lost interrupt");
+    }
+    udelay(20);
+    tries = tries + 1;
+  }
+}
+
+void ide_wait_nobusy() {
+  while (inb(IDE_STATUS) & BUSY_STAT) {
+  }
+}
+
+int ide_wait_drq() {
+  u8 stat;
+  stat = inb(IDE_STATUS);
+  while ((stat & DRQ_STAT) == 0) {
+    if (stat & BAD_STAT) { return 0 - 1; }
+    stat = inb(IDE_STATUS);
+  }
+  return 0;
+}
+
+int ide_probe() {
+  u8 stat;
+  outb(ATA_LBA, IDE_SELECT);
+  ide_wait_nobusy();
+  stat = inb(IDE_STATUS);
+  if ((stat & READY_STAT) == 0) { return 0 - 1; }
+  outb(WIN_SPECIFY, IDE_COMMAND);
+  ide_wait_irq(1);
+  ide_wait_nobusy();
+  stat = inb(IDE_STATUS);
+  if (stat & BAD_STAT) { return 0 - 1; }
+  return 0;
+}
+
+int ide_identify() {
+  int i;
+  outb(WIN_IDENTIFY, IDE_COMMAND);
+  ide_wait_irq(2);
+  ide_wait_nobusy();
+  if (ide_wait_drq() != 0) { return 0 - 1; }
+  for (i = 0; i < 256; i++) {
+    ide_ident[i] = inw(IDE_DATA);
+  }
+  return 0;
+}
+
+int ide_read_sector(int lba, int nth) {
+  int i;
+  outb(1, IDE_NSECTOR);
+  outb(lba & 0xff, IDE_SECTOR);
+  outb((lba >> 8) & 0xff, IDE_LCYL);
+  outb((lba >> 16) & 0xff, IDE_HCYL);
+  outb(ATA_LBA | ((lba >> 24) & 0x0f), IDE_SELECT);
+  outb(WIN_READ, IDE_COMMAND);
+  ide_wait_irq(nth);
+  ide_wait_nobusy();
+  if (ide_wait_drq() != 0) { return 0 - 1; }
+  for (i = 0; i < 256; i++) {
+    ide_buf[i] = inw(IDE_DATA);
+  }
+  return 0;
+}
+
+/* MUT_END */
+
+#define MBR_MAGIC     0xaa55
+#define PART_LBA_WORD 227
+#define FS_MAGIC      0xef53
+
+int ide_irq_boot() {
+  int part_start;
+  int fs_size;
+  int fingerprint;
+  request_irq(6, "ide_intr");
+  if (ide_probe() != 0) {
+    panic("ide: drive not ready at boot");
+  }
+  if (ide_identify() != 0) {
+    panic("ide: identify failed");
+  }
+  ide_capacity = ide_ident[60] | (ide_ident[61] << 16);
+  if (ide_capacity <= 0) {
+    panic("ide: bogus drive capacity");
+  }
+  if (ide_read_sector(0, 3) != 0) {
+    panic("ide: cannot read partition table");
+  }
+  if (ide_buf[255] != MBR_MAGIC) {
+    panic("ide: bad partition table signature");
+  }
+  part_start = ide_buf[PART_LBA_WORD] | (ide_buf[PART_LBA_WORD + 1] << 16);
+  if (part_start <= 0 || part_start >= ide_capacity) {
+    panic("ide: implausible partition start");
+  }
+  if (ide_read_sector(part_start, 4) != 0) {
+    panic("ide: cannot read superblock");
+  }
+  if (ide_buf[0] != FS_MAGIC) {
+    panic("VFS: unable to mount root fs");
+  }
+  fs_size = ide_buf[2] | (ide_buf[3] << 16);
+  fingerprint = part_start * 65536 + (ide_capacity & 0xffff) + fs_size;
+  return fingerprint;
+}
+)";
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// CDevil interrupt-driven IDE driver (concatenate after the ide stubs). The
+// handler opens with the 8259 in-service guard: a spurious IRQ 6 never sets
+// bit 6 of the status window at 0x20.
+// ---------------------------------------------------------------------------
+const std::string& cdevil_ide_irq_driver() {
+  static const std::string src = R"(
+/* CDevil glue for the interrupt-driven Devil IDE driver (IRQ 6). */
+
+#define SECTOR_WORDS 256
+
+u16 ide_ident[256];
+u16 ide_buf[256];
+int ide_capacity;
+int ide_irq_count;
+
+/* MUT_BEGIN: CDevil call sites */
+
+#define IDE_OK       0
+#define IDE_FAIL     0 - 1
+
+void ide_intr() {
+  if ((inb(0x20) & 64) == 0) {
+    panic("Devil assertion: spurious interrupt on irq 6");
+  }
+  ide_irq_count = ide_irq_count + 1;
+}
+
+void ide_wait_irq(int want) {
+  int tries;
+  tries = 0;
+  while (ide_irq_count < want) {
+    if (tries >= 100) {
+      panic("ide: lost interrupt");
+    }
+    udelay(20);
+    tries = tries + 1;
+  }
+}
+
+void ide_wait_nobusy() {
+  while (dil_eq(get_Busy(), BUSY)) {
+  }
+}
+
+int ide_wait_drq() {
+  while (dil_eq(get_Drq(), DATA_IDLE)) {
+    if (dil_eq(get_Err(), STAT_ERR)) { return IDE_FAIL; }
+  }
+  return IDE_OK;
+}
+
+int ide_probe() {
+  set_Drive(MASTER);
+  set_LbaMode(LBA_ADDRESSING);
+  ide_wait_nobusy();
+  if (dil_eq(get_Ready(), DRIVE_NOTREADY)) { return IDE_FAIL; }
+  set_Command(WIN_SPECIFY);
+  ide_wait_irq(1);
+  ide_wait_nobusy();
+  if (dil_eq(get_Err(), STAT_ERR)) { return IDE_FAIL; }
+  return IDE_OK;
+}
+
+int ide_identify() {
+  int i;
+  set_Command(WIN_IDENTIFY);
+  ide_wait_irq(2);
+  ide_wait_nobusy();
+  if (ide_wait_drq() != IDE_OK) { return IDE_FAIL; }
+  for (i = 0; i < SECTOR_WORDS; i++) {
+    ide_ident[i] = dil_val(get_Data());
+  }
+  return IDE_OK;
+}
+
+int ide_read_sector(int lba, int nth) {
+  int i;
+  set_SectorCount(mk_SectorCount(1));
+  set_Lba(mk_Lba(lba));
+  set_Command(WIN_READ);
+  ide_wait_irq(nth);
+  ide_wait_nobusy();
+  if (ide_wait_drq() != IDE_OK) { return IDE_FAIL; }
+  for (i = 0; i < SECTOR_WORDS; i++) {
+    ide_buf[i] = dil_val(get_Data());
+  }
+  return IDE_OK;
+}
+
+/* MUT_END */
+
+#define MBR_MAGIC     0xaa55
+#define PART_LBA_WORD 227
+#define FS_MAGIC      0xef53
+
+int ide_irq_boot() {
+  int part_start;
+  int fs_size;
+  int fingerprint;
+  request_irq(6, "ide_intr");
+  devil_init(0x1f0, 0x1f0);
+  if (ide_probe() != 0) {
+    panic("ide: drive not ready at boot");
+  }
+  if (ide_identify() != 0) {
+    panic("ide: identify failed");
+  }
+  ide_capacity = ide_ident[60] | (ide_ident[61] << 16);
+  if (ide_capacity <= 0) {
+    panic("ide: bogus drive capacity");
+  }
+  if (ide_read_sector(0, 3) != 0) {
+    panic("ide: cannot read partition table");
+  }
+  if (ide_buf[255] != MBR_MAGIC) {
+    panic("ide: bad partition table signature");
+  }
+  part_start = ide_buf[PART_LBA_WORD] | (ide_buf[PART_LBA_WORD + 1] << 16);
+  if (part_start <= 0 || part_start >= ide_capacity) {
+    panic("ide: implausible partition start");
+  }
+  if (ide_read_sector(part_start, 4) != 0) {
+    panic("ide: cannot read superblock");
+  }
+  if (ide_buf[0] != FS_MAGIC) {
+    panic("VFS: unable to mount root fs");
+  }
+  fs_size = ide_buf[2] | (ide_buf[3] << 16);
+  fingerprint = part_start * 65536 + (ide_capacity & 0xffff) + fs_size;
+  return fingerprint;
+}
+)";
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt-driven busmouse driver: motion arrives on IRQ 5 (the device
+// powers on with one report pended; enabling interrupts delivers it).
+// ---------------------------------------------------------------------------
+const std::string& c_busmouse_irq_driver() {
+  static const std::string src = R"(
+/* Classic Logitech busmouse driver, interrupt-driven (IRQ 5). */
+
+int mouse_dx;
+int mouse_dy;
+int mouse_buttons;
+int mouse_irq_seen;
+
+/* MUT_BEGIN */
+
+#define MSE_DATA_PORT    0x23c
+#define MSE_SIGNATURE    0x23d
+#define MSE_CONTROL_PORT 0x23e
+#define MSE_CONFIG_PORT  0x23f
+
+#define MSE_READ_X_LOW   0x80
+#define MSE_READ_X_HIGH  0xa0
+#define MSE_READ_Y_LOW   0xc0
+#define MSE_READ_Y_HIGH  0xe0
+
+#define MSE_INT_ENABLE   0x00
+#define MSE_INT_DISABLE  0x10
+#define MSE_CONFIG_BYTE  0x91
+
+void mouse_intr() {
+  u8 dx;
+  u8 dy;
+  u8 buttons;
+  outb(MSE_READ_X_LOW, MSE_CONTROL_PORT);
+  dx = inb(MSE_DATA_PORT) & 0x0f;
+  outb(MSE_READ_X_HIGH, MSE_CONTROL_PORT);
+  dx = dx | ((inb(MSE_DATA_PORT) & 0x0f) << 4);
+  outb(MSE_READ_Y_LOW, MSE_CONTROL_PORT);
+  dy = inb(MSE_DATA_PORT) & 0x0f;
+  outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+  buttons = inb(MSE_DATA_PORT);
+  dy = dy | ((buttons & 0x0f) << 4);
+  mouse_dx = dx;
+  mouse_dy = dy;
+  mouse_buttons = (buttons >> 5) & 0x07;
+  mouse_irq_seen = 1;
+}
+
+int bm_init() {
+  int sig;
+  outb(MSE_CONFIG_BYTE, MSE_CONFIG_PORT);
+  outb(MSE_INT_DISABLE, MSE_CONTROL_PORT);
+  sig = inb(MSE_SIGNATURE);
+  return sig;
+}
+
+/* MUT_END */
+
+int mouse_irq_boot() {
+  int sig;
+  int state;
+  int tries;
+  request_irq(5, "mouse_intr");
+  sig = bm_init();
+  if (sig != 0xa5) {
+    panic("busmouse: bad signature");
+  }
+  outb(MSE_INT_ENABLE, MSE_CONTROL_PORT);
+  tries = 0;
+  while (mouse_irq_seen == 0) {
+    if (tries >= 100) {
+      panic("busmouse: lost interrupt");
+    }
+    udelay(20);
+    tries = tries + 1;
+  }
+  state = (mouse_buttons << 16) | (mouse_dy << 8) | mouse_dx;
+  return state + 1000000;
+}
+)";
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// CDevil interrupt-driven busmouse driver (concatenate after the busmouse
+// stubs). Handler opens with the in-service guard on bit 5 of port 0x20.
+// ---------------------------------------------------------------------------
+const std::string& cdevil_busmouse_irq_driver() {
+  static const std::string src = R"(
+/* CDevil glue for the interrupt-driven Devil busmouse driver (IRQ 5). */
+
+int mouse_dx;
+int mouse_dy;
+int mouse_buttons;
+int mouse_irq_seen;
+
+void mouse_intr() {
+  if ((inb(0x20) & 32) == 0) {
+    panic("Devil assertion: spurious interrupt on irq 5");
+  }
+  mouse_dx = dil_val(get_dx());
+  mouse_dy = dil_val(get_dy());
+  mouse_buttons = dil_val(get_buttons());
+  mouse_irq_seen = 1;
+}
+
+int mouse_irq_boot() {
+  int state;
+  int tries;
+  request_irq(5, "mouse_intr");
+  devil_init(0x23c);
+  /* MUT_BEGIN */
+  set_config(CONFIGURATION);
+  set_signature(mk_signature(0x5a));
+  if (dil_val(get_signature()) != 0x5a) {
+    panic("busmouse: signature readback mismatch");
+  }
+  set_interrupt(ENABLE);
+  /* MUT_END */
+  tries = 0;
+  while (mouse_irq_seen == 0) {
+    if (tries >= 100) {
+      panic("busmouse: lost interrupt");
+    }
+    udelay(20);
+    tries = tries + 1;
+  }
+  state = (mouse_buttons << 16) | ((mouse_dy & 0xff) << 8) | (mouse_dx & 0xff);
   return state + 1000000;
 }
 )";

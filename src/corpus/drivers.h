@@ -25,9 +25,24 @@ namespace corpus {
 [[nodiscard]] const std::string& c_busmouse_driver();
 [[nodiscard]] const std::string& cdevil_busmouse_driver();
 
+/// Interrupt-driven variants for the event-fault campaigns (the bindings
+/// with an IRQ line: IDE on 6, busmouse on 5). Each registers a handler via
+/// request_irq before touching the device, waits on handler-set state
+/// instead of pure polling, and panics "lost interrupt" on timeout. The
+/// CDevil variants open their handlers with the 8259 in-service guard
+/// (`inb(0x20)`): a spurious interrupt never latches its in-service bit, so
+/// the guard's Devil assertion is what separates CDevil from classic C in
+/// the event-fault tables.
+[[nodiscard]] const std::string& c_ide_irq_driver();
+[[nodiscard]] const std::string& cdevil_ide_irq_driver();
+[[nodiscard]] const std::string& c_busmouse_irq_driver();
+[[nodiscard]] const std::string& cdevil_busmouse_irq_driver();
+
 /// Entry-point names.
 inline constexpr const char* kIdeEntry = "ide_boot";
 inline constexpr const char* kMouseEntry = "mouse_boot";
+inline constexpr const char* kIdeIrqEntry = "ide_irq_boot";
+inline constexpr const char* kMouseIrqEntry = "mouse_irq_boot";
 
 /// One device's pair of campaign drivers for the Tables 3/4 evaluation:
 /// the classic C driver and the CDevil glue, plus the Devil spec whose
@@ -48,5 +63,11 @@ struct CampaignDrivers {
 
 /// Every device with a full mutation-campaign corpus, in report order.
 [[nodiscard]] const std::vector<CampaignDrivers>& campaign_drivers();
+
+/// The interrupt-driven corpora, keyed to the event-driven eval bindings
+/// ("ide-irq", "busmouse-irq"). Kept separate from campaign_drivers() so the
+/// polled mutation tables are unchanged; the fault-campaign CLI iterates
+/// both lists.
+[[nodiscard]] const std::vector<CampaignDrivers>& irq_campaign_drivers();
 
 }  // namespace corpus

@@ -28,9 +28,34 @@ DeviceBinding busmouse_binding() {
   return b;
 }
 
+DeviceBinding ide_irq_binding() {
+  DeviceBinding b = ide_binding();
+  b.device = "ide-irq";
+  b.entry = "ide_irq_boot";
+  b.irq_line = 6;
+  return b;
+}
+
+DeviceBinding busmouse_irq_binding() {
+  DeviceBinding b = busmouse_binding();
+  b.device = "busmouse-irq";
+  b.entry = "mouse_irq_boot";
+  b.irq_line = 5;
+  b.make_device = [] {
+    auto m = std::make_shared<hw::Busmouse>();
+    // Power-on pending motion (dx 9, dy -3, left button): the interrupt the
+    // driver's enable transition delivers. preload_motion keeps the device
+    // un-dirtied, so pool recycles stay bit-identical to fresh instances.
+    m->preload_motion(9, -3, 0x01);
+    return m;
+  };
+  return b;
+}
+
 const std::vector<DeviceBinding>& standard_bindings() {
-  static const std::vector<DeviceBinding> bindings = {ide_binding(),
-                                                      busmouse_binding()};
+  static const std::vector<DeviceBinding> bindings = {
+      ide_binding(), busmouse_binding(), ide_irq_binding(),
+      busmouse_irq_binding()};
   return bindings;
 }
 

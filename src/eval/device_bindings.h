@@ -19,6 +19,15 @@ namespace eval {
 /// running example, Fig. 1-3).
 [[nodiscard]] DeviceBinding busmouse_binding();
 
+/// Event-driven variants of the two standard devices. Same port windows and
+/// device models, but the binding carries an IRQ line (IDE on 6, busmouse on
+/// 5 — the classic PC assignments), the campaign kernels map the IRQ status
+/// window alongside, and the boot entries (`ide_irq_boot` / `mouse_irq_boot`)
+/// belong to interrupt-driven driver corpora. The busmouse factory preloads
+/// one motion report as power-on state so every boot has an event to deliver.
+[[nodiscard]] DeviceBinding ide_irq_binding();
+[[nodiscard]] DeviceBinding busmouse_irq_binding();
+
 /// All bindings with full campaign corpora, in stable report order.
 [[nodiscard]] const std::vector<DeviceBinding>& standard_bindings();
 

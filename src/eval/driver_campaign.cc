@@ -31,6 +31,16 @@ const char* outcome_name(Outcome o) {
   return "?";
 }
 
+void map_bound_device(hw::IoBus& bus, const DeviceBinding& binding,
+                      std::shared_ptr<hw::Device> dev) {
+  bus.map(binding.port_base, binding.port_span, std::move(dev),
+          binding.irq_line);
+  if (binding.irq_line >= 0) {
+    bus.map(hw::kIrqStatusPortBase, 1,
+            std::make_shared<hw::IrqStatusPort>(&bus.irq_controller()));
+  }
+}
+
 const char* outcome_short(Outcome o) {
   switch (o) {
     case Outcome::kCompileTime: return "compile";
@@ -54,6 +64,11 @@ Outcome classify_fault(minic::FaultKind kind) {
     case minic::FaultKind::kPanic:
       return Outcome::kHalt;
     case minic::FaultKind::kStepLimit:
+      return Outcome::kInfiniteLoop;
+    case minic::FaultKind::kWatchdog:
+      // Wall-clock containment of a wedged boot: same bucket as the step
+      // budget, but counted separately (the trip is host-speed dependent).
+      support::Metrics::add_watchdog_trip();
       return Outcome::kInfiniteLoop;
     case minic::FaultKind::kBusFault:
     case minic::FaultKind::kDivByZero:
@@ -185,15 +200,18 @@ MutantRecord run_one_mutant(const PreparedCampaign& prep, size_t mutant_ix,
     // step-stamped through the bus's probe.
     recorder = std::make_shared<hw::FlightRecorder>(
         dev, config.device.port_base, &bus);
-    bus.map(config.device.port_base, config.device.port_span, recorder);
+    bus.set_irq_observer(recorder.get());
+    map_bound_device(bus, config.device, recorder);
   } else {
-    bus.map(config.device.port_base, config.device.port_span, dev);
+    map_bound_device(bus, config.device, dev);
   }
   auto run = cached
                  ? minic::run_module(*spliced.module, bus, prep.entry,
-                                     config.step_budget)
+                                     config.step_budget, nullptr,
+                                     config.watchdog_ms)
                  : minic::run_unit(*prog.unit, bus, prep.entry,
-                                   config.step_budget, config.engine);
+                                   config.step_budget, config.engine, nullptr,
+                                   config.watchdog_ms);
 
   if (run.fault == minic::FaultKind::kInternal) {
     throw std::logic_error("interpreter bug on mutant: " + run.fault_message);
@@ -367,14 +385,15 @@ DriverCampaignResult run_driver_campaign_slice(
   {
     hw::IoBus bus;
     auto dev = prep.device_pool.acquire();
-    bus.map(config.device.port_base, config.device.port_span, dev);
+    map_bound_device(bus, config.device, dev);
     // The baseline boot doubles as the campaign's deterministic profile
     // run: steps retired and (on the VM) the per-opcode dispatch counts.
     // Every shard recomputes these; merge validation rejects disagreement.
     const bool vm_engine = config.engine == minic::ExecEngine::kBytecodeVm;
     auto run = minic::run_unit(*clean.unit, bus, prep.entry,
                                config.step_budget, config.engine,
-                               vm_engine ? &result.baseline_opcodes : nullptr);
+                               vm_engine ? &result.baseline_opcodes : nullptr,
+                               config.watchdog_ms);
     result.baseline_steps = run.steps_used;
     if (run.fault != minic::FaultKind::kNone) {
       throw std::logic_error(who + "unmutated driver faults at boot" +

@@ -16,6 +16,7 @@
 
 #include "eval/outcome.h"
 #include "hw/device_pool.h"
+#include "hw/io_bus.h"
 #include "minic/program.h"
 #include "mutation/site.h"
 
@@ -36,12 +37,24 @@ struct DeviceBinding {
   /// Default boot entry point for this device's drivers; used when
   /// DriverCampaignConfig::entry is empty.
   std::string entry;
+  /// IRQ line the device raises on, or -1 for a purely polled binding.
+  /// Event-driven bindings also get the IRQ status window
+  /// (hw::IrqStatusPort at hw::kIrqStatusPortBase) mapped per boot.
+  int irq_line = -1;
   /// Constructs a power-on-state device. Must be thread-safe: the pool
   /// invokes it concurrently from campaign workers.
   hw::DevicePool::Factory make_device;
 
   [[nodiscard]] bool ok() const { return make_device != nullptr; }
 };
+
+/// Maps `dev` (the outermost shim of a boot's device stack) at the binding's
+/// port window, wiring the binding's IRQ line when it has one — and then the
+/// IRQ status window, so drivers can read the in-service bitmap. Every
+/// campaign boot goes through this so polled and event-driven bindings stay
+/// interchangeable.
+void map_bound_device(hw::IoBus& bus, const DeviceBinding& binding,
+                      std::shared_ptr<hw::Device> dev);
 
 struct DriverCampaignConfig {
   /// Generated Devil stubs, prepended to the driver. Empty for the plain C
@@ -62,6 +75,13 @@ struct DriverCampaignConfig {
   unsigned sample_percent = 25;
   uint64_t seed = 20010325;  // deterministic campaigns; any seed works
   uint64_t step_budget = 3'000'000;
+  /// Wall-clock cap per boot in milliseconds; 0 disables the watchdog. A
+  /// trip classifies as a hang (mutation: infinite loop; fault campaign:
+  /// hang) and bumps the watchdog_trips timing counter. Deliberately NOT
+  /// part of the campaign fingerprint: the deterministic step budget always
+  /// bounds a boot first unless the host wedges, so the cap only contains
+  /// pathological wall time and never changes deterministic results.
+  uint64_t watchdog_ms = 10'000;
   /// Worker threads booting mutants; 0 = hardware_concurrency. Results are
   /// identical at any thread count (records stay in mutant-index order and
   /// the tally is reduced after the join).

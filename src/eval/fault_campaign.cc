@@ -48,6 +48,10 @@ FaultOutcome classify_run_fault(minic::FaultKind kind) {
       return FaultOutcome::kDriverPanic;
     case minic::FaultKind::kStepLimit:
       return FaultOutcome::kHang;
+    case minic::FaultKind::kWatchdog:
+      // Wall-clock containment: the boot wedged for real time, not steps.
+      support::Metrics::add_watchdog_trip();
+      return FaultOutcome::kHang;
     case minic::FaultKind::kBusFault:
     case minic::FaultKind::kDivByZero:
     case minic::FaultKind::kBadIndex:
@@ -65,8 +69,9 @@ FaultOutcome classify_run_fault(minic::FaultKind kind) {
 std::vector<hw::FaultPlan> fault_scenario_matrix(
     const DeviceBinding& device, const std::vector<uint32_t>& triggers) {
   std::vector<hw::FaultPlan> plans;
-  plans.reserve(static_cast<size_t>(device.port_span) *
-                (3 * 8 + 3) * triggers.size());
+  plans.reserve((static_cast<size_t>(device.port_span) * (3 * 8 + 3) +
+                 (device.irq_line >= 0 ? 4 : 0)) *
+                triggers.size());
   for (uint32_t offset = 0; offset < device.port_span; ++offset) {
     const uint32_t port = device.port_base + offset;
     // Bit-level kinds: every single-bit mask of the 8-bit register file.
@@ -97,6 +102,27 @@ std::vector<hw::FaultPlan> fault_scenario_matrix(
       }
     }
   }
+  // Event rows, appended after the port rows so existing scenario indices
+  // (part of the artifact contract) are untouched for polled bindings. For
+  // the event kinds `plan.port` names the IRQ line; `after` counts genuine
+  // raises on it (spurious: device accesses); `value` carries the storm
+  // repeat count / delivery delay.
+  if (device.irq_line >= 0) {
+    for (hw::FaultKind kind : {hw::FaultKind::kLostIrq,
+                               hw::FaultKind::kSpuriousIrq,
+                               hw::FaultKind::kIrqStorm,
+                               hw::FaultKind::kDelayIrq}) {
+      for (uint32_t after : triggers) {
+        hw::FaultPlan plan;
+        plan.port = static_cast<uint32_t>(device.irq_line);
+        plan.kind = kind;
+        plan.after = after;
+        if (kind == hw::FaultKind::kIrqStorm) plan.value = 8;
+        if (kind == hw::FaultKind::kDelayIrq) plan.value = 1000;
+        plans.push_back(plan);
+      }
+    }
+  }
   return plans;
 }
 
@@ -108,6 +134,11 @@ uint64_t fault_scenario_seed(const FaultCampaignConfig& config) {
   h.update_field(config.base.device.device);
   h.update_u64(config.base.device.port_base);
   h.update_u64(config.base.device.port_span);
+  // Folded only for event-driven bindings so polled-device seeds (and the
+  // scenario subsets of already-published artifacts) stay byte-identical.
+  if (config.base.device.irq_line >= 0) {
+    h.update_u64(static_cast<uint64_t>(config.base.device.irq_line));
+  }
   h.update_u64(config.triggers.size());
   for (uint32_t t : config.triggers) h.update_u64(t);
   h.update_u64(config.sample_percent);
@@ -178,11 +209,12 @@ FaultCampaignResult run_fault_campaign_slice(const FaultCampaignConfig& config,
   {
     hw::IoBus bus;
     auto dev = device_pool.acquire();
-    bus.map(base.device.port_base, base.device.port_span, dev);
+    map_bound_device(bus, base.device, dev);
     const bool vm_engine = base.engine == minic::ExecEngine::kBytecodeVm;
     auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
                                base.engine,
-                               vm_engine ? &result.baseline_opcodes : nullptr);
+                               vm_engine ? &result.baseline_opcodes : nullptr,
+                               base.watchdog_ms);
     result.baseline_steps = run.steps_used;
     if (run.fault != minic::FaultKind::kNone) {
       throw std::logic_error(who + "driver faults on healthy hardware" +
@@ -243,15 +275,17 @@ FaultCampaignResult run_fault_campaign_slice(const FaultCampaignConfig& config,
         std::shared_ptr<hw::FlightRecorder> recorder;
         if (base.flight_recorder) {
           // Recorder outermost: the trace shows the post-fault values the
-          // driver actually read, not the healthy device's.
+          // driver actually read, not the healthy device's — and, through
+          // the bus observer tap, the post-injector IRQ traffic.
           recorder = std::make_shared<hw::FlightRecorder>(
               shim, base.device.port_base, &bus);
-          bus.map(base.device.port_base, base.device.port_span, recorder);
+          bus.set_irq_observer(recorder.get());
+          map_bound_device(bus, base.device, recorder);
         } else {
-          bus.map(base.device.port_base, base.device.port_span, shim);
+          map_bound_device(bus, base.device, shim);
         }
         auto run = minic::run_unit(*clean.unit, bus, entry, base.step_budget,
-                                   base.engine);
+                                   base.engine, nullptr, base.watchdog_ms);
         if (run.fault == minic::FaultKind::kInternal) {
           throw std::logic_error(who + "interpreter bug under fault [" +
                                  plan.describe() + "]: " + run.fault_message);

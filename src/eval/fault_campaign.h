@@ -124,8 +124,11 @@ struct FaultCampaignResult {
 /// in [port_base, port_base + port_span), every fault kind — the three
 /// bit-level kinds (stuck-at-0, stuck-at-1, flip-once) over each of the 8
 /// low bit masks, then drop-write, floating-bus and never-ready(0) — each
-/// instantiated per trigger offset. Enumeration order is fixed and part of
-/// the artifact contract (scenario_index identifies a scenario).
+/// instantiated per trigger offset. Event-driven bindings (irq_line >= 0)
+/// append event rows after the port rows: lost / spurious / storm(8) /
+/// delay(1000 steps) per trigger offset, with `plan.port` naming the IRQ
+/// line. Enumeration order is fixed and part of the artifact contract
+/// (scenario_index identifies a scenario).
 [[nodiscard]] std::vector<hw::FaultPlan> fault_scenario_matrix(
     const DeviceBinding& device, const std::vector<uint32_t>& triggers);
 

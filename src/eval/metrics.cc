@@ -261,6 +261,7 @@ ProcessMetrics capture_process_metrics(uint64_t threads, uint64_t wall_ns) {
   pm.stages = snap.stages;
   pm.pool_fresh = snap.pool_fresh;
   pm.pool_recycled = snap.pool_recycled;
+  pm.watchdog_trips = snap.watchdog_trips;
   pm.worker_records = snap.worker_records;
   return pm;
 }
@@ -279,6 +280,7 @@ support::JsonValue process_metrics_to_json(const ProcessMetrics& pm) {
   t.set("stages", std::move(stages));
   t.set("pool_fresh", pm.pool_fresh);
   t.set("pool_recycled", pm.pool_recycled);
+  t.set("watchdog_trips", pm.watchdog_trips);
   t.set("worker_records", histogram_to_json(pm.worker_records));
   return t;
 }
@@ -306,6 +308,7 @@ ProcessMetrics process_metrics_from_json(const support::JsonValue& v,
   }
   pm.pool_fresh = require_u64(v, "pool_fresh", ctx);
   pm.pool_recycled = require_u64(v, "pool_recycled", ctx);
+  pm.watchdog_trips = require_u64(v, "watchdog_trips", ctx);
   pm.worker_records = histogram_from_json(require(v, "worker_records", ctx),
                                           ctx + " worker_records");
   return pm;
@@ -319,6 +322,7 @@ void merge_process_metrics(ProcessMetrics& into, const ProcessMetrics& from) {
   }
   into.pool_fresh += from.pool_fresh;
   into.pool_recycled += from.pool_recycled;
+  into.watchdog_trips += from.watchdog_trips;
   into.worker_records.merge(from.worker_records);
 }
 

@@ -71,6 +71,9 @@ struct ProcessMetrics {
   std::array<support::Histogram, support::kStageCount> stages;
   uint64_t pool_fresh = 0;
   uint64_t pool_recycled = 0;
+  /// Boots killed by the wall-clock watchdog — host-speed dependent, hence
+  /// a timing counter and never part of the deterministic section.
+  uint64_t watchdog_trips = 0;
   support::Histogram worker_records;
 
   friend bool operator==(const ProcessMetrics&,

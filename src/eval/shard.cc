@@ -53,6 +53,8 @@ constexpr hw::FaultKind kAllFaultKinds[] = {
     hw::FaultKind::kStuckZero,   hw::FaultKind::kStuckOne,
     hw::FaultKind::kFlipOnce,    hw::FaultKind::kDropWrite,
     hw::FaultKind::kFloatingBus, hw::FaultKind::kNeverReady,
+    hw::FaultKind::kLostIrq,     hw::FaultKind::kSpuriousIrq,
+    hw::FaultKind::kIrqStorm,    hw::FaultKind::kDelayIrq,
 };
 
 hw::FaultKind fault_kind_from_short(const std::string& name,
@@ -211,6 +213,11 @@ std::string campaign_fingerprint(const DriverCampaignConfig& config) {
   h.update_field(config.device.device);
   h.update_u64(config.device.port_base);
   h.update_u64(config.device.port_span);
+  // Folded only for event-driven bindings so every polled-device
+  // fingerprint published before the interrupt model existed is unchanged.
+  if (config.device.irq_line >= 0) {
+    h.update_u64(static_cast<uint64_t>(config.device.irq_line));
+  }
   h.update_u64(config.is_cdevil ? 1 : 0);
   h.update_u64(config.sample_percent);
   h.update_u64(config.seed);

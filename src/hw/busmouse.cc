@@ -8,15 +8,27 @@ void Busmouse::reset() {
   // common clean-recycle through a DevicePool costs one branch. Any read
   // rotates garbage_, so reads dirty the device too.
   if (!touched_) return;
-  dx_ = dy_ = 0;
-  buttons_ = 0;
+  dx_ = poweron_dx_;
+  dy_ = poweron_dy_;
+  buttons_ = poweron_buttons_;
   index_ = 0;
   irq_disabled_ = true;
   config_ = 0;
   signature_ = 0xa5;
   garbage_ = 0x50;
+  motion_pending_ = poweron_pending_;
   protocol_violations_ = 0;
   touched_ = false;
+}
+
+void Busmouse::preload_motion(int8_t dx, int8_t dy, uint8_t buttons) {
+  poweron_dx_ = dx_ = dx;
+  poweron_dy_ = dy_ = dy;
+  poweron_buttons_ = buttons_ = buttons;
+  poweron_pending_ = motion_pending_ = true;
+  // No raise (interrupts are disabled at power-on; the enable transition
+  // fires the pended report) and no dirty bit: the device still *is* its
+  // power-on state, just a richer one.
 }
 
 void Busmouse::set_motion(int8_t dx, int8_t dy, uint8_t buttons) {
@@ -24,6 +36,8 @@ void Busmouse::set_motion(int8_t dx, int8_t dy, uint8_t buttons) {
   dx_ = dx;
   dy_ = dy;
   buttons_ = buttons;
+  motion_pending_ = true;
+  if (!irq_disabled_) raise_irq();
 }
 
 uint32_t Busmouse::read(uint32_t offset, int width) {
@@ -42,7 +56,9 @@ uint32_t Busmouse::read(uint32_t offset, int width) {
         case 2: return junk_hi | (uy & 0x0f);
         case 3: {
           // Buttons in bits 7..5 (active low), dy high nibble in bits 3..0,
-          // bit 4 floats.
+          // bit 4 floats. Reading the final nibble consumes the pending
+          // motion report (the interrupt condition).
+          motion_pending_ = false;
           uint8_t b = static_cast<uint8_t>(~buttons_) & 0x07;
           return static_cast<uint8_t>((b << 5) | (garbage_ & 0x10) |
                                       ((uy >> 4) & 0x0f));
@@ -81,7 +97,12 @@ void Busmouse::write(uint32_t offset, uint32_t value, int width) {
       if (v & 0x80) {
         index_ = (v >> 5) & 3;
       } else {
+        const bool was_disabled = irq_disabled_;
         irq_disabled_ = (v & 0x10) != 0;
+        // Enabling interrupts with a report already pended fires the level-
+        // triggered line immediately — how the IRQ boot's pre-loaded motion
+        // reaches the driver's handler.
+        if (was_disabled && !irq_disabled_ && motion_pending_) raise_irq();
       }
       return;
     case 3:

@@ -28,8 +28,18 @@ class Busmouse final : public Device {
   void write(uint32_t offset, uint32_t value, int width) override;
   void reset() override;
 
-  /// Test/bench hook: loads a pending motion report.
+  /// Test/bench hook: loads a pending motion report. Raises the wired IRQ
+  /// line unless interrupts are disabled (power-on default); a report pended
+  /// while disabled raises on the disabled->enabled CONTROL transition, and
+  /// reading the final DATA nibble (index 3) consumes it.
   void set_motion(int8_t dx, int8_t dy, uint8_t buttons);
+
+  /// Makes a pending motion report part of the device's *power-on* state:
+  /// the event-driven campaign binding preloads one so every boot has an
+  /// interrupt to deliver. Unlike set_motion this neither raises nor dirties
+  /// the device — the preloaded state is exactly what reset() restores, so
+  /// pool recycles of a preloaded mouse stay bit-identical to fresh ones.
+  void preload_motion(int8_t dx, int8_t dy, uint8_t buttons);
 
   [[nodiscard]] uint8_t index() const { return index_; }
   [[nodiscard]] bool irq_disabled() const { return irq_disabled_; }
@@ -51,8 +61,15 @@ class Busmouse final : public Device {
   uint8_t config_ = 0;
   uint8_t signature_ = 0xa5;
   uint8_t garbage_ = 0x50;  // rotated into irrelevant bits
+  bool motion_pending_ = false;
   uint64_t protocol_violations_ = 0;
   bool touched_ = false;
+  // Power-on motion state reset() restores (preload_motion overrides the
+  // all-zero default).
+  int8_t poweron_dx_ = 0;
+  int8_t poweron_dy_ = 0;
+  uint8_t poweron_buttons_ = 0;
+  bool poweron_pending_ = false;
 };
 
 }  // namespace hw

@@ -53,6 +53,10 @@ void DevicePool::release(std::shared_ptr<Device> dev) {
   // and simply let the device die (never reuse it) otherwise.
   assert(dev.use_count() == 1 && "release() while the device is still mapped");
   if (dev.use_count() != 1) return;
+  // Unwire the interrupt output: the bus (and any shim chain) this device
+  // raised into is being torn down, and a pooled device must never raise
+  // into a dead bus when its next boot's raise points fire before map().
+  dev->attach_irq(nullptr, -1);
   std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(std::move(dev));
 }

@@ -23,6 +23,10 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDropWrite: return "drop-write";
     case FaultKind::kFloatingBus: return "floating";
     case FaultKind::kNeverReady: return "never-ready";
+    case FaultKind::kLostIrq: return "lost-irq";
+    case FaultKind::kSpuriousIrq: return "spurious-irq";
+    case FaultKind::kIrqStorm: return "irq-storm";
+    case FaultKind::kDelayIrq: return "delay-irq";
   }
   return "?";
 }
@@ -30,6 +34,14 @@ const char* fault_kind_name(FaultKind k) {
 std::string FaultPlan::describe() const {
   std::ostringstream os;
   os << fault_kind_name(kind);
+  if (is_event_fault()) {
+    // `port` is the IRQ line here; `after` counts raises (spurious: device
+    // accesses) — e.g. "irq-storm x8 on line 6 after 1".
+    if (kind == FaultKind::kIrqStorm) os << " x" << value;
+    if (kind == FaultKind::kDelayIrq) os << " +" << value << " steps";
+    os << " on line " << port << " after " << after;
+    return os.str();
+  }
   if (kind == FaultKind::kStuckZero || kind == FaultKind::kStuckOne ||
       kind == FaultKind::kFlipOnce) {
     os << " mask 0x" << std::hex << mask << std::dec;
@@ -45,7 +57,21 @@ FaultInjector::FaultInjector(std::shared_ptr<Device> inner, uint32_t port_base,
                              FaultPlan plan)
     : inner_(std::move(inner)), port_base_(port_base), plan_(plan) {}
 
+void FaultInjector::maybe_inject_spurious() {
+  if (plan_.kind != FaultKind::kSpuriousIrq) return;
+  const uint64_t seq = access_seq_++;  // 0-based index of this access
+  if (seq != plan_.after) return;
+  if (IrqSink* out = irq_sink()) {
+    // The spurious edge arrives while the CPU is mid-I/O: deliverable at
+    // the very next charge-step boundary, in-service bit never latched.
+    out->raise_irq(static_cast<int>(plan_.port), /*delay_steps=*/0,
+                   /*genuine=*/false);
+    ++fired_;
+  }
+}
+
 uint32_t FaultInjector::read(uint32_t offset, int width) {
+  maybe_inject_spurious();
   if (!plan_.is_read_fault() || port_base_ + offset != plan_.port) {
     return inner_->read(offset, width);
   }
@@ -71,12 +97,17 @@ uint32_t FaultInjector::read(uint32_t offset, int width) {
       ++fired_;
       return plan_.value & width_ones(width);
     case FaultKind::kDropWrite:
-      break;  // unreachable: is_read_fault() excluded it
+    case FaultKind::kLostIrq:
+    case FaultKind::kSpuriousIrq:
+    case FaultKind::kIrqStorm:
+    case FaultKind::kDelayIrq:
+      break;  // unreachable: is_read_fault() excluded them
   }
   return inner_->read(offset, width);
 }
 
 void FaultInjector::write(uint32_t offset, uint32_t value, int width) {
+  maybe_inject_spurious();
   if (plan_.kind == FaultKind::kDropWrite &&
       port_base_ + offset == plan_.port) {
     const uint64_t seq = matched_++;
@@ -92,6 +123,61 @@ void FaultInjector::reset() {
   inner_->reset();
   matched_ = 0;
   fired_ = 0;
+  raise_seq_ = 0;
+  access_seq_ = 0;
+}
+
+void FaultInjector::attach_irq(IrqSink* sink, int line) {
+  Device::attach_irq(sink, line);
+  // Interpose on the raise chain: the wrapped device now raises into this
+  // shim, which forwards (or tampers) toward the real sink. Detach (sink ==
+  // nullptr, pool recycling) unwires the whole chain.
+  inner_->attach_irq(sink != nullptr ? static_cast<IrqSink*>(this) : nullptr,
+                     line);
+}
+
+void FaultInjector::raise_irq(int line, uint64_t delay_steps, bool genuine) {
+  IrqSink* out = irq_sink();
+  if (out == nullptr) return;
+  if (!genuine || !plan_.is_event_fault() ||
+      static_cast<uint32_t>(line) != plan_.port) {
+    out->raise_irq(line, delay_steps, genuine);
+    return;
+  }
+  switch (plan_.kind) {
+    case FaultKind::kLostIrq: {
+      const uint64_t seq = raise_seq_++;  // 0-based index of this raise
+      if (seq == plan_.after) {
+        ++fired_;  // the edge is lost on the wire
+        return;
+      }
+      break;
+    }
+    case FaultKind::kIrqStorm: {
+      const uint64_t seq = raise_seq_++;
+      if (seq == plan_.after) {
+        ++fired_;
+        const uint32_t repeats = plan_.value != 0 ? plan_.value : 1;
+        for (uint32_t i = 0; i < repeats; ++i) {
+          out->raise_irq(line, delay_steps, true);
+        }
+        return;
+      }
+      break;
+    }
+    case FaultKind::kDelayIrq: {
+      const uint64_t seq = raise_seq_++;
+      if (seq == plan_.after) {
+        ++fired_;
+        out->raise_irq(line, delay_steps + plan_.value, true);
+        return;
+      }
+      break;
+    }
+    default:
+      break;  // kSpuriousIrq injects from the access path, raises forward
+  }
+  out->raise_irq(line, delay_steps, genuine);
 }
 
 }  // namespace hw

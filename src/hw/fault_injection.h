@@ -22,7 +22,8 @@
 namespace hw {
 
 /// The modelled hardware misbehaviours. Read faults tamper with (or bypass)
-/// device reads; `kDropWrite` is the only write-side fault.
+/// device reads; `kDropWrite` is the only write-side fault; the event kinds
+/// perturb the interrupt chain instead of port traffic.
 enum class FaultKind {
   kStuckZero,    // masked bits read as 0 from the trigger onward
   kStuckOne,     // masked bits read as 1 from the trigger onward
@@ -32,6 +33,11 @@ enum class FaultKind {
                  // the device is no longer consulted (unplugged card)
   kNeverReady,   // reads return a frozen constant from the trigger onward;
                  // the device is no longer consulted (wedged status)
+  kLostIrq,      // the trigger-th genuine raise on the line is swallowed
+  kSpuriousIrq,  // the trigger-th device access injects a spurious raise
+                 // (delivered, but the in-service bit never latches)
+  kIrqStorm,     // the trigger-th genuine raise repeats `value` times
+  kDelayIrq,     // the trigger-th genuine raise is postponed `value` steps
 };
 
 /// Short stable name used in artifacts and reports ("stuck0", "flip", ...).
@@ -42,18 +48,30 @@ enum class FaultKind {
 /// the first matching access, `after == 2` the third. For the persistent
 /// kinds (stuck bits, floating bus, never-ready) every later matching
 /// access stays faulted; `kFlipOnce` and `kDropWrite` hit exactly one.
+///
+/// Event kinds reinterpret the fields: `port` names the IRQ line, `after`
+/// counts genuine raises on that line (kSpuriousIrq: device accesses of
+/// either direction to any register), and `value` carries the storm repeat
+/// count / delivery delay in steps.
 struct FaultPlan {
   uint32_t port = 0;
   FaultKind kind = FaultKind::kStuckZero;
   uint32_t after = 0;
   /// Bit mask for the stuck/flip kinds; ignored by the others.
   uint32_t mask = 0;
-  /// Frozen read value for kNeverReady; ignored by the others.
+  /// Frozen read value for kNeverReady; storm repeats for kIrqStorm; delay
+  /// steps for kDelayIrq; ignored by the others.
   uint32_t value = 0;
 
-  /// True for every kind that tampers with reads (all but kDropWrite).
+  /// True for the kinds that perturb the interrupt chain, not port traffic.
+  [[nodiscard]] bool is_event_fault() const {
+    return kind == FaultKind::kLostIrq || kind == FaultKind::kSpuriousIrq ||
+           kind == FaultKind::kIrqStorm || kind == FaultKind::kDelayIrq;
+  }
+
+  /// True for every kind that tampers with reads.
   [[nodiscard]] bool is_read_fault() const {
-    return kind != FaultKind::kDropWrite;
+    return kind != FaultKind::kDropWrite && !is_event_fault();
   }
 
   /// Human-readable one-liner ("stuck1 mask 0x80 at port 0x1f7 after 2").
@@ -69,7 +87,14 @@ struct FaultPlan {
 /// reports look identical with and without the shim. `reset()` forwards and
 /// re-arms the counters, which keeps a shimmed device recyclable through
 /// `hw::DevicePool` exactly like a bare one.
-class FaultInjector final : public Device {
+///
+/// The injector also splices itself into the interrupt raise chain: when the
+/// bus wires a line (attach_irq), the injector becomes the wrapped device's
+/// sink — lost/storm/delay faults tamper with genuine raises in flight, and
+/// spurious faults inject a non-genuine raise on the trigger-th device
+/// access. Everything downstream (bus queue, observer, engines) sees only
+/// post-fault reality.
+class FaultInjector final : public Device, public IrqSink {
  public:
   /// `port_base` is the bus base the injector will be mapped at; it turns
   /// the relative offsets of read/write back into absolute ports so plans
@@ -86,6 +111,13 @@ class FaultInjector final : public Device {
     return inner_->damage_note();
   }
 
+  /// Splices into the raise chain: remembers `sink` as the forward target
+  /// and re-points the wrapped device at this shim.
+  void attach_irq(IrqSink* sink, int line) override;
+  /// IrqSink: applies the event-fault logic to genuine raises on the target
+  /// line; everything else forwards unchanged.
+  void raise_irq(int line, uint64_t delay_steps, bool genuine) override;
+
   /// Matching-direction accesses to the target port seen so far.
   [[nodiscard]] uint64_t matched() const { return matched_; }
   /// Accesses actually faulted. 0 means the scenario never triggered (the
@@ -94,11 +126,15 @@ class FaultInjector final : public Device {
   [[nodiscard]] const std::shared_ptr<Device>& inner() const { return inner_; }
 
  private:
+  void maybe_inject_spurious();
+
   std::shared_ptr<Device> inner_;
   uint32_t port_base_;
   FaultPlan plan_;
   uint64_t matched_ = 0;
   uint64_t fired_ = 0;
+  uint64_t raise_seq_ = 0;   // genuine raises seen on the target line
+  uint64_t access_seq_ = 0;  // device accesses seen (spurious trigger)
 };
 
 }  // namespace hw

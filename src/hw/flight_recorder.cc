@@ -48,6 +48,23 @@ void FlightRecorder::record(bool is_write, uint32_t offset, uint32_t value,
   }
 }
 
+void FlightRecorder::irq_event(IrqEventKind kind, int line) {
+  RecordedAccess acc;
+  acc.seq = total_++;
+  acc.step = env_ != nullptr ? env_->steps_retired() : 0;
+  switch (kind) {
+    case IrqEventKind::kRaised: acc.kind = RecordKind::kIrqRaised; break;
+    case IrqEventKind::kDelivered: acc.kind = RecordKind::kIrqDelivered; break;
+    case IrqEventKind::kDropped: acc.kind = RecordKind::kIrqDropped; break;
+  }
+  acc.line = line;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(acc);
+  } else {
+    ring_[static_cast<size_t>(acc.seq % capacity_)] = acc;
+  }
+}
+
 std::vector<RecordedAccess> FlightRecorder::tail() const {
   std::vector<RecordedAccess> out;
   out.reserve(ring_.size());
@@ -66,16 +83,27 @@ std::string FlightRecorder::render_tail() const {
   std::vector<RecordedAccess> accesses = tail();
   char line[128];
   std::snprintf(line, sizeof(line),
-                "last %zu of %llu port accesses:", accesses.size(),
+                "last %zu of %llu bus events:", accesses.size(),
                 static_cast<unsigned long long>(total_));
   std::string out = line;
   for (const RecordedAccess& acc : accesses) {
-    std::snprintf(line, sizeof(line),
-                  "\n  [access %llu, step %llu] %s 0x%x %s 0x%x (%d-bit)",
-                  static_cast<unsigned long long>(acc.seq),
-                  static_cast<unsigned long long>(acc.step),
-                  acc.is_write ? "out" : "in ", acc.port,
-                  acc.is_write ? "<-" : "->", acc.value, acc.width);
+    if (acc.kind == RecordKind::kPortAccess) {
+      std::snprintf(line, sizeof(line),
+                    "\n  [event %llu, step %llu] %s 0x%x %s 0x%x (%d-bit)",
+                    static_cast<unsigned long long>(acc.seq),
+                    static_cast<unsigned long long>(acc.step),
+                    acc.is_write ? "out" : "in ", acc.port,
+                    acc.is_write ? "<-" : "->", acc.value, acc.width);
+    } else {
+      const char* what = acc.kind == RecordKind::kIrqRaised ? "raised"
+                         : acc.kind == RecordKind::kIrqDelivered
+                             ? "delivered"
+                             : "dropped";
+      std::snprintf(line, sizeof(line),
+                    "\n  [event %llu, step %llu] irq %d %s",
+                    static_cast<unsigned long long>(acc.seq),
+                    static_cast<unsigned long long>(acc.step), acc.line, what);
+    }
     out += line;
   }
   return out;

@@ -205,6 +205,10 @@ void IdeDisk::write(uint32_t offset, uint32_t value, int width) {
     case 7:
       if (!master_selected()) return;  // no slave to take commands
       start_command(v);
+      // INTRQ asserts once per accepted command (simplified ATA: one
+      // completion interrupt, including error completions). No-op until the
+      // bus wires a line, so polled boots are untouched.
+      raise_irq();
       return;
     default:
       ++protocol_violations_;

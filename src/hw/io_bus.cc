@@ -5,7 +5,8 @@
 
 namespace hw {
 
-void IoBus::map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev) {
+void IoBus::map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev,
+                int irq_line) {
   for (const auto& m : mappings_) {
     if (base < m.base + m.length && m.base < base + length) {
       std::ostringstream os;
@@ -14,8 +15,37 @@ void IoBus::map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev) {
       throw std::invalid_argument(os.str());
     }
   }
+  if (irq_line >= 0) {
+    if (irq_line >= IrqController::kLines) {
+      std::ostringstream os;
+      os << "IRQ line " << irq_line << " out of range for " << dev->name();
+      throw std::invalid_argument(os.str());
+    }
+    dev->attach_irq(this, irq_line);
+  }
   mappings_.push_back(Mapping{base, length, std::move(dev)});
 }
+
+void IoBus::raise_irq(int line, uint64_t delay_steps, bool genuine) {
+  if (line < 0 || line >= IrqController::kLines) return;
+  ctrl_.raise(line, steps_retired() + delay_steps, genuine);
+  if (irq_observer_ != nullptr) {
+    irq_observer_->irq_event(IrqEventKind::kRaised, line);
+  }
+}
+
+int IoBus::irq_pending() { return ctrl_.pending(steps_retired()); }
+
+void IoBus::irq_begin(bool handled) {
+  const int line = ctrl_.pending(steps_retired());
+  ctrl_.begin(handled);
+  if (irq_observer_ != nullptr && line >= 0) {
+    irq_observer_->irq_event(
+        handled ? IrqEventKind::kDelivered : IrqEventKind::kDropped, line);
+  }
+}
+
+void IoBus::irq_end() { ctrl_.end(); }
 
 IoBus::Mapping* IoBus::find(uint32_t port) {
   for (auto& m : mappings_) {
@@ -58,6 +88,9 @@ void IoBus::reset() {
   for (auto& m : mappings_) m.dev->reset();
   trace_.clear();
   unmapped_ = 0;
+  // Pending events from the previous run must not leak into the next boot
+  // (the recycle bit-identity regression pins this).
+  ctrl_.clear();
 }
 
 bool IoBus::any_damage() const {

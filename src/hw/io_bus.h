@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/irq.h"
 #include "minic/interp.h"
 
 namespace hw {
@@ -44,19 +45,69 @@ class Device {
   /// table) — the paper's "damaged boot" evidence.
   [[nodiscard]] virtual bool damaged() const { return false; }
   [[nodiscard]] virtual std::string damage_note() const { return {}; }
+
+  /// Wires the device's interrupt output to `sink` on `line` (the bus calls
+  /// this from map() when the mapping carries a line; shims override it to
+  /// splice themselves into the raise chain). `sink == nullptr` detaches —
+  /// device pools detach before recycling so a pooled device can never raise
+  /// into a dead bus. Devices that never interrupt simply stay detached and
+  /// their raise_irq() calls no-op, which is why polled campaigns are
+  /// byte-identical with this model compiled in.
+  virtual void attach_irq(IrqSink* sink, int line) {
+    irq_sink_ = sink;
+    irq_line_ = sink != nullptr ? line : -1;
+  }
+
+ protected:
+  /// Raise points inside device models call this (busmouse on motion, IDE on
+  /// command completion). No-op until attach_irq() wires a sink.
+  void raise_irq() {
+    if (irq_sink_ != nullptr && irq_line_ >= 0) {
+      irq_sink_->raise_irq(irq_line_, /*delay_steps=*/0, /*genuine=*/true);
+    }
+  }
+
+  [[nodiscard]] IrqSink* irq_sink() const { return irq_sink_; }
+  [[nodiscard]] int irq_line() const { return irq_line_; }
+
+ private:
+  IrqSink* irq_sink_ = nullptr;
+  int irq_line_ = -1;
 };
 
 /// Routes port I/O to mapped devices. Implements minic::IoEnvironment so the
-/// interpreter's inb/outb builtins land here.
-class IoBus final : public minic::IoEnvironment {
+/// interpreter's inb/outb builtins land here, and IrqSink so mapped devices
+/// (through any interposed shims) can queue interrupt events for the engines
+/// to dispatch at charge-step boundaries.
+class IoBus final : public minic::IoEnvironment, public IrqSink {
  public:
-  /// Maps [base, base+length) to `dev`. Ranges must not overlap.
-  void map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev);
+  /// Maps [base, base+length) to `dev`. Ranges must not overlap. When
+  /// `irq_line >= 0` the device's interrupt output is wired to this bus on
+  /// that line (attach_irq through the device, so shims splice in).
+  void map(uint32_t base, uint32_t length, std::shared_ptr<Device> dev,
+           int irq_line = -1);
 
   uint32_t io_in(uint32_t port, int width) override;
   void io_out(uint32_t port, uint32_t value, int width) override;
 
-  /// Resets every mapped device and clears the trace.
+  /// IrqSink: queues the event, deliverable `delay_steps` interpreter steps
+  /// from now. Events raised outside a run (e.g. pre-boot pended motion) are
+  /// due at step 0.
+  void raise_irq(int line, uint64_t delay_steps, bool genuine) override;
+
+  /// IoEnvironment event hooks — drain the controller queue.
+  [[nodiscard]] int irq_pending() override;
+  void irq_begin(bool handled) override;
+  void irq_end() override;
+
+  [[nodiscard]] const IrqController& irq_controller() const { return ctrl_; }
+
+  /// Observer for raised/delivered/dropped transitions (the flight recorder).
+  /// Observes post-shim reality: raises a fault injector swallows are never
+  /// seen, spurious raises it injects are.
+  void set_irq_observer(IrqObserver* obs) { irq_observer_ = obs; }
+
+  /// Resets every mapped device, clears the trace and all pending IRQ state.
   void reset();
 
   [[nodiscard]] bool any_damage() const;
@@ -86,6 +137,38 @@ class IoBus final : public minic::IoEnvironment {
   bool trace_enabled_ = false;
   size_t trace_cap_ = 4096;
   uint64_t unmapped_ = 0;
+  IrqController ctrl_;
+  IrqObserver* irq_observer_ = nullptr;
+};
+
+/// One-byte read-only window onto a controller's in-service bitmap,
+/// conventionally mapped at kIrqStatusPortBase (0x20 — the 8259 command port
+/// a real driver would poll for the in-service register). Reading it is how
+/// a CDevil handler detects a spurious interrupt: the line's bit is clear.
+/// Writes are ignored.
+///
+/// Points into the owning bus's controller, so it must be mapped on that bus
+/// and torn down with it (the campaign kernels map it per boot and replace
+/// the whole bus afterwards).
+class IrqStatusPort final : public Device {
+ public:
+  explicit IrqStatusPort(const IrqController* ctrl) : ctrl_(ctrl) {}
+
+  [[nodiscard]] std::string name() const override { return "irq-status"; }
+  uint32_t read(uint32_t offset, int width) override {
+    (void)offset;
+    (void)width;
+    return ctrl_->in_service() & 0xffu;
+  }
+  void write(uint32_t offset, uint32_t value, int width) override {
+    (void)offset;
+    (void)value;
+    (void)width;
+  }
+  void reset() override {}
+
+ private:
+  const IrqController* ctrl_;
 };
 
 }  // namespace hw

@@ -24,6 +24,8 @@ enum class Builtin {
   kUdelay, // void udelay(int usec) — burns interpreter steps
   kDilEq,  // int dil_eq(x, y) — generic comparison (see header comment)
   kDilVal, // int dil_val(x)   — raw value of a Devil-typed datum
+  kRequestIrq, // void request_irq(int line, cstring handler) — registers a
+               // zero-argument function as the line's interrupt handler
 };
 
 [[nodiscard]] std::optional<Builtin> find_builtin(const std::string& name);

@@ -158,6 +158,7 @@ enum class Op : uint8_t {
   kDilEqStruct,     // C  : debug-mode dil_eq with type-tag assertion
   kDilValInt,       // C  : R[a].i = R[b].i
   kDilValStruct,    // C  : R[a].i = R[b].fields[2].i (0 when absent)
+  kRequestIrq,      // C  : bind handler fn named R[b].s to line R[a].i
   kUnreachable,     // C  : throw Fault{kInternal, strings[imm]}
 };
 

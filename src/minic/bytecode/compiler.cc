@@ -1368,6 +1368,18 @@ class FunctionCompiler {
         push(in);
         return r;
       }
+      case Builtin::kRequestIrq: {
+        bool pre = maybe_precharge({e.sub[0].get(), e.sub[1].get()},
+                                   e.loc.line);
+        uint16_t rl = compile_expr(*e.sub[0]);
+        uint16_t rs = compile_expr(*e.sub[1]);
+        Insn in = base(Op::kRequestIrq, e.loc.line);
+        if (pre) in.flags = kInsnFree;
+        in.a = rl;
+        in.b = rs;
+        push(in);
+        return rl;  // void result, like kOut
+      }
     }
     return emit_unreachable("bad builtin", e.loc.line, dst);
   }

@@ -111,6 +111,37 @@ void Vm::pop_frame() {
   frames_.pop_back();
 }
 
+void Vm::check_watchdog() {
+  if (std::chrono::steady_clock::now() >= watchdog_deadline_) {
+    throw Fault{FaultKind::kWatchdog,
+                "watchdog: boot exceeded " + std::to_string(watchdog_ms_) +
+                    " ms wall-clock cap"};
+  }
+}
+
+template <bool kProfile>
+void Vm::poll_irqs(RunOutcome& out) {
+  if (in_irq_) return;
+  for (;;) {
+    int line = io_.irq_pending();
+    if (line < 0) return;
+    const CompiledFunction* h =
+        line < kIrqLines ? irq_handlers_[static_cast<size_t>(line)] : nullptr;
+    if (h == nullptr) {
+      io_.irq_begin(false);  // no handler registered: acknowledge and drop
+      continue;
+    }
+    io_.irq_begin(true);
+    in_irq_ = true;
+    // Recursive exec is safe mid-dispatch: the caller's register pointer
+    // aims into its frame's heap buffer, which stays put when frames_
+    // itself reallocates (vectors move by buffer ownership).
+    exec<kProfile>(*h, /*counts_depth=*/true, out);
+    in_irq_ = false;
+    io_.irq_end();
+  }
+}
+
 template <bool kProfile>
 VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
                  RunOutcome& out) {
@@ -126,12 +157,18 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
   VmValue* R = frames_.back().data();
   VmValue* G = globals_.data();
 
+// The trailing mask check mirrors the walker's step(): an out-of-line
+// wall-clock watchdog probe every 2^20 retired charges (never on the
+// fast path when the watchdog is off).
 #define CHARGE(ln)                          \
   do {                                      \
     if (steps_left_ == 0) {                 \
       throw_step_limit(ln);                 \
     }                                       \
     --steps_left_;                          \
+    if ((steps_left_ & 0xfffff) == 0 && watchdog_ms_ != 0) {                \
+      check_watchdog();                     \
+    }                                       \
   } while (0)
 // Charge unless the instruction was marked free (its node's charge was
 // already emitted as an explicit pre-order kStep).
@@ -422,6 +459,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         uint64_t packed = static_cast<uint64_t>(in.imm);
         uint32_t value =
             io_.io_in(static_cast<uint32_t>(packed & 0xffffffffu), in.w);
+        poll_irqs<kProfile>(out);  // walker polls on io_in return, pre-mask
         CHARGE(in.line);
         R[in.a].i = static_cast<int64_t>(value & (packed >> 32));
         break;
@@ -680,6 +718,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         io_.io_out(static_cast<uint32_t>(cc[2].imm),
                    static_cast<uint32_t>(cc[1].imm) & mask,
                    static_cast<int>(w));
+        poll_irqs<kProfile>(out);
         R[in.a].i = 0;  // void result, as a real call's kRetZero returns
         break;
       }
@@ -707,11 +746,13 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         CHG(in);
         R[in.a].i =
             io_.io_in(static_cast<uint32_t>(R[in.b].i), in.w);
+        poll_irqs<kProfile>(out);
         break;
       case Op::kInConst:
         CHG(in);
         CHG(in);
         R[in.a].i = io_.io_in(static_cast<uint32_t>(in.imm), in.w);
+        poll_irqs<kProfile>(out);
         break;
       case Op::kOut: {
         CHG(in);
@@ -719,6 +760,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         uint32_t value = static_cast<uint32_t>(R[in.a].i);
         uint32_t port = static_cast<uint32_t>(R[in.b].i);
         io_.io_out(port, value & mask, in.w);
+        poll_irqs<kProfile>(out);
         break;
       }
       case Op::kPanic: {
@@ -747,6 +789,7 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
           throw_step_limit(in.line);
         }
         steps_left_ -= burn;
+        poll_irqs<kProfile>(out);  // a delay is where pending edges land
         break;
       }
       case Op::kDilEqInt:
@@ -784,6 +827,31 @@ VmValue Vm::exec(const CompiledFunction& entry_fn, bool counts_depth,
         CHG(in);
         R[in.a].i = R[in.b].fields.size() > 2 ? R[in.b].fields[2].i : 0;
         break;
+      case Op::kRequestIrq: {
+        CHG(in);
+        int64_t line_no = R[in.a].i;
+        if (line_no < 0 || line_no >= kIrqLines) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: invalid irq line " +
+                          std::to_string(line_no) + " (line " +
+                          std::to_string(in.line) + ")"};
+        }
+        const uint32_t* ix = mod_.find_fn(R[in.b].s);
+        if (ix == nullptr) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: unknown handler '" + R[in.b].s +
+                          "' (line " + std::to_string(in.line) + ")"};
+        }
+        const CompiledFunction* h = mod_.fn_table[*ix];
+        if (!h->params.empty()) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: handler '" + R[in.b].s +
+                          "' takes arguments (line " +
+                          std::to_string(in.line) + ")"};
+        }
+        irq_handlers_[static_cast<size_t>(line_no)] = h;
+        break;
+      }
       case Op::kUnreachable:
         CHG(in);
         throw Fault{FaultKind::kInternal,
@@ -818,6 +886,12 @@ RunOutcome Vm::run(const std::string& entry) {
   while (!frames_.empty()) pop_frame();
   globals_.clear();
   globals_.resize(mod_.global_count);
+  irq_handlers_.fill(nullptr);
+  in_irq_ = false;
+  if (watchdog_ms_ != 0) {
+    watchdog_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(watchdog_ms_);
+  }
   io_.bind_step_probe(&steps_left_, budget_);
   try {
     if (profile_ != nullptr) {

@@ -6,6 +6,8 @@
 // stubs and sampled mutants.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,12 +32,27 @@ class Vm {
   /// runs with the profile unset (every campaign mutant boot) pay nothing.
   void set_opcode_profile(OpcodeProfile* profile) { profile_ = profile; }
 
+  /// Wall-clock cap per run (kWatchdog fault when exceeded; checked every
+  /// 2^20 retired charges). 0 (the default) disables it. Mirrors
+  /// Interp::set_watchdog_ms.
+  void set_watchdog_ms(uint64_t ms) { watchdog_ms_ = ms; }
+
  private:
+  /// Interrupt lines modelled; mirrors the walker's kIrqLines and
+  /// hw::IrqController::kLines.
+  static constexpr int kIrqLines = 8;
+
   template <bool kProfile>
   VmValue exec(const CompiledFunction& fn, bool counts_depth,
                RunOutcome& out);
   template <bool kProfile>
   void run_body(const std::string& entry, RunOutcome& out);
+  /// Drains deliverable IRQ events at an I/O charge boundary; dispatches
+  /// registered handlers as recursive exec calls (handlers run to
+  /// completion — no nesting).
+  template <bool kProfile>
+  void poll_irqs(RunOutcome& out);
+  void check_watchdog();
   void push_frame(const CompiledFunction& fn, const VmValue* caller_regs,
                   uint32_t argbase);
   void pop_frame();
@@ -60,6 +77,13 @@ class Vm {
   std::vector<Activation> calls_;
   std::vector<VmValue> globals_;
   OpcodeProfile* profile_ = nullptr;
+  /// Interrupt handlers by line (request_irq); null = acknowledge-and-drop.
+  std::array<const CompiledFunction*, kIrqLines> irq_handlers_{};
+  /// True while a handler runs: handlers complete before the next delivery.
+  bool in_irq_ = false;
+  /// Wall-clock boot containment; 0 disables (the default).
+  uint64_t watchdog_ms_ = 0;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
 };
 
 }  // namespace minic::bytecode

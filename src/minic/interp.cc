@@ -1,6 +1,8 @@
 #include "minic/interp.h"
 
+#include <array>
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 
@@ -19,6 +21,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kStackOverflow: return "stack-overflow";
     case FaultKind::kDivByZero: return "div-by-zero";
     case FaultKind::kBadIndex: return "bad-index";
+    case FaultKind::kWatchdog: return "watchdog";
     case FaultKind::kInternal: return "internal";
   }
   return "?";
@@ -27,6 +30,11 @@ const char* fault_kind_name(FaultKind k) {
 namespace {
 
 constexpr int kMaxCallDepth = 128;
+
+/// Interrupt lines the engines model; mirrors hw::IrqController::kLines
+/// (minic must not depend on hw, so the constant is duplicated — the
+/// differential suites would catch a drift immediately).
+constexpr int kIrqLines = 8;
 
 /// Runtime value. Struct values are flat field vectors (field order from the
 /// struct declaration).
@@ -76,10 +84,14 @@ enum class Flow { kNormal, kBreak, kContinue, kReturn };
 class Machine {
  public:
   Machine(const Unit& unit, IoEnvironment& io, uint64_t budget,
-          RunOutcome& out)
+          RunOutcome& out, uint64_t watchdog_ms = 0)
       : unit_(unit), io_(io), budget_(budget), steps_left_(budget),
-        out_(out) {
+        out_(out), watchdog_ms_(watchdog_ms) {
     io_.bind_step_probe(&steps_left_, budget_);
+    if (watchdog_ms_ != 0) {
+      watchdog_deadline_ = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(watchdog_ms_);
+    }
     structs_.reserve(unit_.structs.size());
     for (const auto& sd : unit_.structs) structs_[sd.name] = &sd;
   }
@@ -162,6 +174,45 @@ class Machine {
                   "step budget exhausted at line " + std::to_string(loc.line)};
     }
     --steps_left_;
+    // Wall-clock watchdog: a steady_clock read per charge would dominate the
+    // campaigns, so check once per 2^20 retired charges. The message names
+    // only the cap (never a line or elapsed time) — wall-clock trips are
+    // inherently nondeterministic and must not perturb trace comparisons.
+    if ((steps_left_ & 0xfffff) == 0 && watchdog_ms_ != 0) check_watchdog();
+  }
+
+  void check_watchdog() {
+    if (std::chrono::steady_clock::now() >= watchdog_deadline_) {
+      throw Fault{FaultKind::kWatchdog,
+                  "watchdog: boot exceeded " + std::to_string(watchdog_ms_) +
+                      " ms wall-clock cap"};
+    }
+  }
+
+  /// Drains deliverable interrupt events. Called at the I/O charge-step
+  /// boundaries (after every port access and udelay burn) — the points where
+  /// both engines have retired identical charge counts, which makes delivery
+  /// timing engine-invariant. Handlers run to completion (no nesting): a
+  /// raise from inside a handler is queued and delivered at the handler's
+  /// own next I/O boundary or after it returns.
+  void poll_irqs() {
+    if (in_irq_) return;
+    for (;;) {
+      int line = io_.irq_pending();
+      if (line < 0) return;
+      const FunctionDecl* h =
+          line < kIrqLines ? irq_handlers_[static_cast<size_t>(line)]
+                           : nullptr;
+      if (h == nullptr) {
+        io_.irq_begin(false);  // no handler registered: acknowledge and drop
+        continue;
+      }
+      io_.irq_begin(true);
+      in_irq_ = true;
+      call_decl(*h, {});
+      in_irq_ = false;
+      io_.irq_end();
+    }
   }
   void mark_line(support::SourceLoc loc) { out_.executed.set(loc.line); }
 
@@ -638,12 +689,14 @@ class Machine {
     auto in = [&](int width) {
       if (!stepped) step(e.loc);
       out = io_.io_in(static_cast<uint32_t>(eval_int(*e.sub[0])), width);
+      poll_irqs();
     };
     auto write = [&](uint32_t mask, int width) {
       if (!stepped) step(e.loc);
       uint32_t value = static_cast<uint32_t>(eval_int(*e.sub[0]));
       uint32_t port = static_cast<uint32_t>(eval_int(*e.sub[1]));
       io_.io_out(port, value & mask, width);
+      poll_irqs();
       out = 0;
     };
     switch (static_cast<Builtin>(e.builtin_index)) {
@@ -691,26 +744,35 @@ class Machine {
 
   Value eval_builtin(Builtin b, const Expr& e, std::vector<Value>& args) {
     switch (b) {
-      case Builtin::kInb:
-        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 8),
-                              Type::int_type(8, false));
-      case Builtin::kInw:
-        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 16),
-                              Type::int_type(16, false));
-      case Builtin::kInl:
-        return Value::integer(io_.io_in(static_cast<uint32_t>(args[0].i), 32),
-                              Type::int_type(32, false));
+      case Builtin::kInb: {
+        uint32_t v = io_.io_in(static_cast<uint32_t>(args[0].i), 8);
+        poll_irqs();
+        return Value::integer(v, Type::int_type(8, false));
+      }
+      case Builtin::kInw: {
+        uint32_t v = io_.io_in(static_cast<uint32_t>(args[0].i), 16);
+        poll_irqs();
+        return Value::integer(v, Type::int_type(16, false));
+      }
+      case Builtin::kInl: {
+        uint32_t v = io_.io_in(static_cast<uint32_t>(args[0].i), 32);
+        poll_irqs();
+        return Value::integer(v, Type::int_type(32, false));
+      }
       case Builtin::kOutb:
         io_.io_out(static_cast<uint32_t>(args[1].i),
                    static_cast<uint32_t>(args[0].i) & 0xff, 8);
+        poll_irqs();
         return Value::integer(0);
       case Builtin::kOutw:
         io_.io_out(static_cast<uint32_t>(args[1].i),
                    static_cast<uint32_t>(args[0].i) & 0xffff, 16);
+        poll_irqs();
         return Value::integer(0);
       case Builtin::kOutl:
         io_.io_out(static_cast<uint32_t>(args[1].i),
                    static_cast<uint32_t>(args[0].i), 32);
+        poll_irqs();
         return Value::integer(0);
       case Builtin::kPanic: {
         bool devil = support::starts_with(args[0].s, "Devil assertion");
@@ -729,6 +791,7 @@ class Machine {
         uint64_t burn = static_cast<uint64_t>(
             args[0].i < 0 ? 0 : (args[0].i > 10000 ? 10000 : args[0].i));
         for (uint64_t i = 0; i < burn; ++i) step(e.loc);
+        poll_irqs();  // a delay is where pending edges land in real drivers
         return Value::integer(0);
       }
       case Builtin::kDilEq: {
@@ -757,6 +820,37 @@ class Machine {
         if (!x.type.is_struct()) return Value::integer(x.i);
         return Value::integer(x.fields.size() > 2 ? x.fields[2].i : 0);
       }
+      case Builtin::kRequestIrq: {
+        // Run-time binding, like the kernel's request_irq: a bad line or a
+        // handler the linker would not find panics the boot.
+        int64_t line = args[0].i;
+        if (line < 0 || line >= kIrqLines) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: invalid irq line " + std::to_string(line) +
+                          " (line " + std::to_string(e.loc.line) + ")"};
+        }
+        const std::string& name = args[1].s;
+        const FunctionDecl* h = nullptr;
+        for (const auto& fn : unit_.functions) {
+          if (fn.name == name) {
+            h = &fn;
+            break;
+          }
+        }
+        if (h == nullptr) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: unknown handler '" + name + "' (line " +
+                          std::to_string(e.loc.line) + ")"};
+        }
+        if (!h->params.empty()) {
+          throw Fault{FaultKind::kPanic,
+                      "request_irq: handler '" + name +
+                          "' takes arguments (line " +
+                          std::to_string(e.loc.line) + ")"};
+        }
+        irq_handlers_[static_cast<size_t>(line)] = h;
+        return Value::integer(0);
+      }
     }
     throw Fault{FaultKind::kInternal, "bad builtin"};
   }
@@ -782,6 +876,13 @@ class Machine {
   Value return_value_;
   int depth_ = 0;
   Type elem_type_ = Type::int_type();
+  /// Interrupt handlers by line (request_irq); null = acknowledge-and-drop.
+  std::array<const FunctionDecl*, kIrqLines> irq_handlers_{};
+  /// True while a handler runs: handlers complete before the next delivery.
+  bool in_irq_ = false;
+  /// Wall-clock boot containment; 0 disables (the default).
+  uint64_t watchdog_ms_ = 0;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
 };
 
 }  // namespace
@@ -791,7 +892,7 @@ Interp::Interp(const Unit& unit, IoEnvironment& io, uint64_t step_budget)
 
 RunOutcome Interp::run(const std::string& entry) {
   RunOutcome out;
-  Machine m(unit_, io_, step_budget_, out);
+  Machine m(unit_, io_, step_budget_, out, watchdog_ms_);
   try {
     m.init_globals();
     Value result = m.call_function(entry, {});

@@ -29,6 +29,7 @@ enum class FaultKind {
   kStackOverflow,
   kDivByZero,
   kBadIndex,
+  kWatchdog,        // wall-clock cap exceeded — hang contained by the harness
   kInternal,        // interpreter invariant violated (a bug in this repo)
 };
 
@@ -62,6 +63,16 @@ class IoEnvironment {
                                         : 0;
   }
 
+  /// Interrupt/event hooks. The engines poll `irq_pending()` at charge-step
+  /// boundaries (after every port access and udelay); when it names a line
+  /// they bracket the handler dispatch with `irq_begin(true)` / `irq_end()`,
+  /// or acknowledge-and-drop with `irq_begin(false)` when the driver never
+  /// registered a handler for that line. The defaults model a bus with no
+  /// event sources, so purely polled environments are unaffected.
+  [[nodiscard]] virtual int irq_pending() { return -1; }
+  virtual void irq_begin(bool handled) { (void)handled; }
+  virtual void irq_end() {}
+
  private:
   const uint64_t* probe_steps_left_ = nullptr;
   uint64_t probe_budget_ = 0;
@@ -93,11 +104,18 @@ class Interp {
   /// outcome; never throws.
   [[nodiscard]] RunOutcome run(const std::string& entry);
 
+  /// Wall-clock cap per run; a boot still executing when it expires faults
+  /// with kWatchdog ("hang, contained"). 0 (the default) disables the
+  /// watchdog. The cap is checked every 2^20 charges, so sub-millisecond
+  /// caps still let a few hundred thousand steps retire first.
+  void set_watchdog_ms(uint64_t ms) { watchdog_ms_ = ms; }
+
  private:
   struct Impl;
   const Unit& unit_;
   IoEnvironment& io_;
   uint64_t step_budget_;
+  uint64_t watchdog_ms_ = 0;
 };
 
 }  // namespace minic

@@ -174,10 +174,11 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
 
 RunOutcome run_module(const bytecode::Module& module, IoEnvironment& io,
                       const std::string& entry, uint64_t step_budget,
-                      bytecode::OpcodeProfile* profile) {
+                      bytecode::OpcodeProfile* profile, uint64_t watchdog_ms) {
   StageTimer timer(Stage::kBoot);
   bytecode::Vm vm(module, io, step_budget);
   if (profile != nullptr) vm.set_opcode_profile(profile);
+  vm.set_watchdog_ms(watchdog_ms);
   return vm.run(entry);
 }
 
@@ -218,10 +219,12 @@ const char* exec_engine_name(ExecEngine e) {
 
 RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
                     const std::string& entry, uint64_t step_budget,
-                    ExecEngine engine, bytecode::OpcodeProfile* profile) {
+                    ExecEngine engine, bytecode::OpcodeProfile* profile,
+                    uint64_t watchdog_ms) {
   if (engine == ExecEngine::kTreeWalker) {
     StageTimer timer(Stage::kBoot);
     Interp interp(unit, io, step_budget);
+    interp.set_watchdog_ms(watchdog_ms);
     return interp.run(entry);
   }
   try {
@@ -232,6 +235,7 @@ RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
     StageTimer timer(Stage::kBoot);
     bytecode::Vm vm(module, io, step_budget);
     if (profile != nullptr) vm.set_opcode_profile(profile);
+    vm.set_watchdog_ms(watchdog_ms);
     return vm.run(entry);
   } catch (const Fault& f) {
     // Lowering rejected the unit: the walker's equivalent is a runtime

@@ -44,11 +44,14 @@ enum class ExecEngine {
 /// outcomes, exactly like the walker's runtime invariant faults. A non-null
 /// `profile` accumulates per-opcode dispatch counts (VM engine only; the
 /// walker has no opcodes and leaves it untouched).
+/// A non-zero `watchdog_ms` arms the engines' wall-clock boot watchdog
+/// (FaultKind::kWatchdog when it trips).
 [[nodiscard]] RunOutcome run_unit(const Unit& unit, IoEnvironment& io,
                                   const std::string& entry,
                                   uint64_t step_budget = 2'000'000,
                                   ExecEngine engine = ExecEngine::kBytecodeVm,
-                                  bytecode::OpcodeProfile* profile = nullptr);
+                                  bytecode::OpcodeProfile* profile = nullptr,
+                                  uint64_t watchdog_ms = 0);
 
 /// Compiles and runs `entry` against `io` in one call (tests, examples).
 [[nodiscard]] RunOutcome compile_and_run(
@@ -154,6 +157,6 @@ struct SplicedProgram {
 [[nodiscard]] RunOutcome run_module(
     const bytecode::Module& module, IoEnvironment& io,
     const std::string& entry, uint64_t step_budget = 2'000'000,
-    bytecode::OpcodeProfile* profile = nullptr);
+    bytecode::OpcodeProfile* profile = nullptr, uint64_t watchdog_ms = 0);
 
 }  // namespace minic

@@ -15,6 +15,7 @@ std::optional<Builtin> find_builtin(const std::string& name) {
       {"panic", Builtin::kPanic},   {"printk", Builtin::kPrintk},
       {"strcmp", Builtin::kStrcmp}, {"udelay", Builtin::kUdelay},
       {"dil_eq", Builtin::kDilEq},  {"dil_val", Builtin::kDilVal},
+      {"request_irq", Builtin::kRequestIrq},
   };
   auto it = table.find(name);
   if (it == table.end()) return std::nullopt;
@@ -611,6 +612,15 @@ class Checker {
           }
         }
         return Type::int_type();
+      case Builtin::kRequestIrq:
+        // The handler is named by string so the binding resolves at run
+        // time, like the kernel's request_irq(); a bad line or unknown
+        // handler panics the boot (both engines, byte-identical message).
+        if (arity(2)) {
+          integer_arg(0);
+          cstring_arg(1);
+        }
+        return Type::void_type();
     }
     return Type::int_type();
   }

@@ -78,6 +78,12 @@ void Metrics::add_pool_recycled(uint64_t n) {
   g_metrics.pool_recycled += n;
 }
 
+void Metrics::add_watchdog_trip() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  ++g_metrics.watchdog_trips;
+}
+
 void Metrics::add_worker_records(const std::vector<uint64_t>& shares) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(g_metrics_mu);

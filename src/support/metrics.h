@@ -77,6 +77,10 @@ struct MetricsSnapshot {
   std::array<Histogram, kStageCount> stages;
   uint64_t pool_fresh = 0;
   uint64_t pool_recycled = 0;
+  /// Boots the wall-clock watchdog killed (minic::FaultKind::kWatchdog).
+  /// Non-deterministic by nature — a trip depends on host speed — which is
+  /// why it lives here and never in the deterministic campaign counters.
+  uint64_t watchdog_trips = 0;
   Histogram worker_records;  // one sample per worker per parallel phase
 };
 
@@ -92,6 +96,7 @@ class Metrics {
   static void record_stage(Stage stage, uint64_t ns);
   static void add_pool_fresh(uint64_t n);
   static void add_pool_recycled(uint64_t n);
+  static void add_watchdog_trip();
   /// Records how many parallel-phase indices each worker executed.
   static void add_worker_records(const std::vector<uint64_t>& shares);
 

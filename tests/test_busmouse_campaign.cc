@@ -349,12 +349,18 @@ TEST(BusmouseCampaign, StandardBindingLookup) {
   EXPECT_EQ(eval::binding_for("busmouse").entry, "mouse_boot");
   EXPECT_EQ(eval::binding_for("ide").port_span, 8u);
   EXPECT_THROW((void)eval::binding_for("sound"), std::logic_error);
-  EXPECT_EQ(eval::standard_bindings().size(), 2u);
-  // Every corpus campaign device has a standard binding with the same
-  // entry point.
+  EXPECT_EQ(eval::standard_bindings().size(), 4u);
+  // Every corpus campaign device — polled and interrupt-driven — has a
+  // standard binding with the same entry point.
   for (const auto& drivers : corpus::campaign_drivers()) {
     auto binding = eval::binding_for(drivers.device);
     EXPECT_EQ(binding.entry, drivers.entry) << drivers.device;
+    EXPECT_LT(binding.irq_line, 0) << drivers.device;
+  }
+  for (const auto& drivers : corpus::irq_campaign_drivers()) {
+    auto binding = eval::binding_for(drivers.device);
+    EXPECT_EQ(binding.entry, drivers.entry) << drivers.device;
+    EXPECT_GE(binding.irq_line, 0) << drivers.device;
   }
 }
 

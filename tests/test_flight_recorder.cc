@@ -87,9 +87,9 @@ TEST(FlightRecorder, RenderTailFormatIsStable) {
   (void)rec.read(1, 16);
   (void)rec.read(0, 8);
   EXPECT_EQ(rec.render_tail(),
-            "last 2 of 3 port accesses:\n"
-            "  [access 1, step 0] in  0x1f1 -> 0x41 (16-bit)\n"
-            "  [access 2, step 0] in  0x1f0 -> 0x40 (8-bit)");
+            "last 2 of 3 bus events:\n"
+            "  [event 1, step 0] in  0x1f1 -> 0x41 (16-bit)\n"
+            "  [event 2, step 0] in  0x1f0 -> 0x40 (8-bit)");
 }
 
 TEST(FlightRecorder, ComposesOutsideTheFaultInjector) {
