@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
@@ -17,7 +19,10 @@
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/bytecode/bytecode.h"
+#include "minic/bytecode/patcher.h"
+#include "minic/lexer.h"
 #include "minic/program.h"
+#include "support/source.h"
 #include "mutation/c_mutator.h"
 #include "support/metrics.h"
 
@@ -225,8 +230,86 @@ void BM_CDevilMutantCyclePrepared(benchmark::State& state) {
       benchmark::DoNotOptimize(out.fault);
     }
   }
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CDevilMutantCyclePrepared)->Unit(benchmark::kMillisecond);
+
+void BM_PatchedMutantCycle(benchmark::State& state) {
+  // E16 — Bytecode-patch mutant cycle: the campaign's per-mutant cost when
+  // the mutant is token-local and boots from a patched copy of the clean
+  // tail module — no lexer, parser, typechecker or lowering at all. Compare
+  // BM_CDevilMutantCyclePrepared (whole-unit front end per mutant) and
+  // BM_PrefixCompileCached (tail-only front end): the patch path replaces
+  // both with an operand rewrite. Patchability is classified once outside
+  // the timing loop (the campaign builds its request table the same way);
+  // the loop measures patch + boot + classify only, over the patchable
+  // subset of the ide CDevil corpus.
+  auto spec = devil::compile_spec("ide.dil", corpus::ide_spec(),
+                                  devil::CodegenMode::kDebug);
+  const std::string& driver = corpus::cdevil_ide_driver();
+  auto prefix = minic::prepare_prefix("ide.dil", spec.stubs + "\n");
+  mutation::CScanOptions opt;
+  opt.classes = mutation::classes_for_cdevil_driver(spec.stubs, driver);
+  auto sites = mutation::scan_c_sites(driver, opt);
+  auto mutants = mutation::generate_c_mutants(sites, opt.classes);
+  std::vector<minic::SiteSpan> spans;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    spans.push_back({static_cast<uint32_t>(sites[i].offset),
+                     static_cast<uint32_t>(sites[i].length),
+                     static_cast<uint32_t>(i)});
+  }
+  auto recorded = minic::compile_tail_recording(prefix, driver, spans);
+  minic::bytecode::Patcher patcher(*recorded.spliced.module,
+                                   prefix.compiled->unit, *recorded.tail_unit,
+                                   recorded.macros, std::move(recorded.patch));
+  auto lex_one = [](const std::string& text) -> std::optional<minic::Token> {
+    support::DiagnosticEngine diags;
+    support::SourceBuffer buf("replacement", text);
+    auto lexed = minic::lex_unit(buf, diags, {});
+    if (diags.has_errors() || lexed.tokens.size() != 2) return std::nullopt;
+    return lexed.tokens.front();
+  };
+  std::vector<minic::bytecode::PatchRequest> reqs;
+  for (const auto& m : mutants) {
+    const auto& site = sites[m.site];
+    auto tok = lex_one(m.replacement);
+    if (!tok) continue;
+    minic::bytecode::PatchRequest req;
+    req.site = static_cast<uint32_t>(m.site);
+    switch (site.kind) {
+      case mutation::SiteKind::kOperator:
+        req.kind = minic::bytecode::PatchRequest::Kind::kOperator;
+        req.new_op = tok->kind;
+        break;
+      case mutation::SiteKind::kLiteral:
+        if (tok->kind != minic::Tok::kIntLit) continue;
+        req.kind = minic::bytecode::PatchRequest::Kind::kLiteral;
+        req.value = tok->int_value;
+        break;
+      case mutation::SiteKind::kIdentifier:
+        if (tok->kind != minic::Tok::kIdent) continue;
+        req.kind = minic::bytecode::PatchRequest::Kind::kIdentifier;
+        req.original = site.original;
+        req.replacement = m.replacement;
+        break;
+    }
+    if (patcher.apply(req)) reqs.push_back(std::move(req));
+  }
+  size_t ix = 0;
+  for (auto _ : state) {
+    const auto& req = reqs[ix++ % reqs.size()];
+    auto module = patcher.apply(req);
+    hw::IoBus bus;
+    bus.map(0x1f0, 8, std::make_shared<hw::IdeDisk>());
+    auto out = minic::run_module(*module, bus, "ide_boot", 3'000'000);
+    benchmark::DoNotOptimize(out.fault);
+  }
+  state.counters["patchable"] = static_cast<double>(reqs.size());
+  state.counters["mutants_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PatchedMutantCycle)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // E11 — Compiled-prefix pipeline. BM_TailLower isolates the per-mutant

@@ -53,6 +53,7 @@ namespace {
 
 minic::ExecEngine g_engine = minic::ExecEngine::kBytecodeVm;
 bool g_flight_recorder = false;
+bool g_bytecode_patch = true;  // --no-bytecode-patch clears (telemetry only)
 uint64_t g_watchdog_ms = 10'000;  // per-boot wall-clock cap (0 = off)
 uint64_t g_start_ns = 0;  // process start, for the metrics wall clock
 
@@ -126,6 +127,7 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->c.threads = threads;
   out->c.engine = g_engine;
   out->c.flight_recorder = g_flight_recorder;
+  out->c.bytecode_patch = g_bytecode_patch;
   out->c.watchdog_ms = g_watchdog_ms;
 
   auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
@@ -143,6 +145,7 @@ bool make_device_configs(const corpus::CampaignDrivers& drivers,
   out->cdevil.threads = threads;
   out->cdevil.engine = g_engine;
   out->cdevil.flight_recorder = g_flight_recorder;
+  out->cdevil.bytecode_patch = g_bytecode_patch;
   out->cdevil.watchdog_ms = g_watchdog_ms;
   return true;
 }
@@ -246,10 +249,12 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
   }
   if (!assert_counters) return true;
   // The walker engine compiles whole units by design, so cache hits are
-  // only expected on the bytecode VM.
+  // only expected on the bytecode VM — and the bytecode patcher only runs
+  // on top of the cache.
   const bool expect_cache = g_engine == minic::ExecEngine::kBytecodeVm;
-  auto check = [expect_cache, &drivers](const char* what,
-                                        const eval::DriverCampaignResult& r) {
+  const bool expect_patch = expect_cache && g_bytecode_patch;
+  auto check = [expect_cache, expect_patch, &drivers](
+                   const char* what, const eval::DriverCampaignResult& r) {
     if (r.deduped_mutants == 0) {
       std::fprintf(stderr, "FAIL: %s %s campaign deduped 0 mutants\n",
                    drivers.device, what);
@@ -262,6 +267,19 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
                    "FAIL: %s %s campaign compiled %zu of %zu unique mutants "
                    "through the prefix cache\n",
                    drivers.device, what, r.prefix_cache_hits, unique);
+      return false;
+    }
+    // Real corpora always hold both token-local mutants (patch hits) and
+    // structure-changing ones (fallbacks), and only unique mutants carry
+    // either bit.
+    if (expect_patch &&
+        (r.patch_hits == 0 || r.patch_fallbacks == 0 ||
+         r.patch_hits + r.patch_fallbacks > unique)) {
+      std::fprintf(stderr,
+                   "FAIL: %s %s campaign patched %zu / fell back %zu over "
+                   "%zu unique mutants\n",
+                   drivers.device, what, r.patch_hits, r.patch_fallbacks,
+                   unique);
       return false;
     }
     return true;
@@ -591,7 +609,14 @@ int usage(std::FILE* to) {
       "  --flight-recorder    record each boot's last port accesses and\n"
       "                       attach the post-mortem tail to every\n"
       "                       non-clean record\n"
+      "  --no-bytecode-patch  recompile every mutant instead of booting\n"
+      "                       token-local mutants from a patched copy of\n"
+      "                       the clean tail bytecode; outcomes are\n"
+      "                       byte-identical either way (only the patch\n"
+      "                       telemetry counters move)\n"
       "  --assert-counters    fail unless dedup + prefix cache engaged\n"
+      "                       (and, unless --no-bytecode-patch/--walker,\n"
+      "                       bytecode patching both hit and fell back)\n"
       "                       (with --faults: fail unless faults fired and\n"
       "                       CDevil detected strictly more than C)\n"
       "  --help               this message\n");
@@ -635,6 +660,8 @@ int main(int argc, char** argv) {
       support::ProgressMeter::set_enabled(true);
     } else if (arg == "--flight-recorder") {
       g_flight_recorder = true;
+    } else if (arg == "--no-bytecode-patch") {
+      g_bytecode_patch = false;
     } else if (arg == "--metrics") {
       const char* v = value("--metrics");
       if (!v) return flag_error("--metrics needs a file path");

@@ -99,10 +99,20 @@ struct DriverCampaignConfig {
   /// Compile mutants through the compiled-prefix cache: the invariant stub
   /// prefix is parsed, typechecked and lowered once per campaign
   /// (`minic::prepare_prefix` stage 1) and every mutant compiles only the
-  /// driver tail, splicing the cached bytecode segment. Byte-identical
-  /// records either way (ctest-enforced). Only effective on the bytecode
-  /// engine; the tree walker always compiles whole units.
+  /// driver tail — splicing the cached bytecode segment on the VM engine,
+  /// layering the tail unit over the prefix unit on the tree walker
+  /// (`minic::check_tail` + `run_tail_unit`). Byte-identical records either
+  /// way (ctest-enforced). `prefix_cache_hits` still counts only bytecode
+  /// tail splices; walker layering is not a segment splice.
   bool prefix_cache = true;
+  /// Boot token-local mutants from a patched copy of the clean tail
+  /// bytecode (minic::bytecode::Patcher) instead of re-running the front
+  /// end. Only effective with the prefix cache on the VM engine. Patched
+  /// and recompiled boots are byte-identical (ctest-enforced), so this flag
+  /// is deliberately NOT part of the campaign fingerprint — like `threads`,
+  /// it can never change records or tallies, only `patched`/`patch_fallback`
+  /// telemetry bits.
+  bool bytecode_patch = true;
   /// Wrap every boot's device in a `hw::FlightRecorder` and attach the
   /// rendered port-access tail to each non-clean record (`MutantRecord::
   /// trace`). Off by default — it is part of the campaign fingerprint, so
@@ -125,6 +135,14 @@ struct MutantRecord {
   /// Flight-recorder post-mortem: the rendered tail of port accesses, only
   /// for non-clean boots and only when the config enables the recorder.
   std::string trace;
+  /// True when this mutant booted a patched copy of the clean tail bytecode
+  /// (no per-mutant front end ran). Telemetry only — the boot itself is
+  /// byte-identical to a recompiled one.
+  bool patched = false;
+  /// True when patching was enabled for the campaign but this mutant was
+  /// structure-changing (or otherwise ineligible) and recompiled instead.
+  /// Duplicates carry neither bit: they never boot at all.
+  bool patch_fallback = false;
 };
 
 struct DriverCampaignResult {
@@ -139,6 +157,12 @@ struct DriverCampaignResult {
   /// Mutants compiled through the per-campaign compiled-prefix cache
   /// (tail-only parse/typecheck/lower spliced onto the shared segment).
   size_t prefix_cache_hits = 0;
+  /// Mutants booted from a patched clean-tail module (sum of the records'
+  /// `patched` bits) vs mutants that fell back to a recompile while
+  /// patching was enabled (`patch_fallback` bits). Both zero when
+  /// `bytecode_patch` was off or the campaign could not build a patcher.
+  size_t patch_hits = 0;
+  size_t patch_fallbacks = 0;
   Tally tally;
   int64_t clean_fingerprint = 0;
   /// Steps the unmutated baseline boot retired, and its per-opcode dispatch

@@ -157,12 +157,20 @@ DriverCampaignResult merge_shard_artifacts(
         rec.deduped = !inserted;
         if (inserted) {
           merged.prefix_cache_hits += r.cache_hit ? 1 : 0;
+          merged.patch_hits += rec.patched ? 1 : 0;
+          merged.patch_fallbacks += rec.patch_fallback ? 1 : 0;
         } else {
           ++merged.deduped_mutants;
+          // The unsharded run would have classified this record from the
+          // representative without booting — duplicates carry no patch bits.
+          rec.patched = false;
+          rec.patch_fallback = false;
         }
       } else {
         rec.deduped = false;
         merged.prefix_cache_hits += r.cache_hit ? 1 : 0;
+        merged.patch_hits += rec.patched ? 1 : 0;
+        merged.patch_fallbacks += rec.patch_fallback ? 1 : 0;
       }
       merged.records.push_back(std::move(rec));
     }

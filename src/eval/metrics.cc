@@ -13,7 +13,10 @@ namespace eval {
 namespace {
 
 constexpr const char* kFormatTag = "devil-repro-metrics";
-constexpr int64_t kFormatVersion = 1;
+// Version 2: campaign rows carry patch_hits/patch_fallbacks and the timing
+// section gained the "patch" stage histogram (stage order is validated
+// strictly, so the new stage alone re-versions the format).
+constexpr int64_t kFormatVersion = 2;
 
 const support::JsonValue& require(const support::JsonValue& obj,
                                   const char* key, const std::string& ctx) {
@@ -128,6 +131,8 @@ support::JsonValue row_to_json(const CampaignMetricsRow& row) {
   } else {
     c.set("deduped", row.deduped);
     c.set("prefix_cache_hits", row.prefix_cache_hits);
+    c.set("patch_hits", row.patch_hits);
+    c.set("patch_fallbacks", row.patch_fallbacks);
     c.set("unique_boots", row.unique_boots);
   }
   c.set("boot_steps", row.boot_steps);
@@ -157,9 +162,15 @@ CampaignMetricsRow row_from_json(const support::JsonValue& v,
   } else {
     row.deduped = require_u64(v, "deduped", ctx);
     row.prefix_cache_hits = require_u64(v, "prefix_cache_hits", ctx);
+    row.patch_hits = require_u64(v, "patch_hits", ctx);
+    row.patch_fallbacks = require_u64(v, "patch_fallbacks", ctx);
     row.unique_boots = require_u64(v, "unique_boots", ctx);
     if (row.deduped > row.records || row.unique_boots > row.records) {
       throw std::runtime_error(ctx + ": dedup/boot counters exceed the "
+                               "record count");
+    }
+    if (row.patch_hits > row.records || row.patch_fallbacks > row.records) {
+      throw std::runtime_error(ctx + ": patch counters exceed the "
                                "record count");
     }
   }
@@ -219,6 +230,8 @@ CampaignMetricsRow campaign_metrics_row(const DriverCampaignResult& result,
   row.records = result.records.size();
   row.deduped = result.deduped_mutants;
   row.prefix_cache_hits = result.prefix_cache_hits;
+  row.patch_hits = result.patch_hits;
+  row.patch_fallbacks = result.patch_fallbacks;
   for (const MutantRecord& rec : result.records) {
     if (!rec.deduped && rec.outcome != Outcome::kCompileTime) {
       ++row.unique_boots;

@@ -42,6 +42,12 @@ struct CampaignMetricsRow {
   uint64_t records = 0;            // sampled mutants / scenarios
   uint64_t deduped = 0;            // mutation rows only
   uint64_t prefix_cache_hits = 0;  // mutation rows only
+  /// Mutation rows only: boots from a patched clean-tail module vs
+  /// recompiles while patching was enabled. Deterministic (the patched
+  /// split is a pure function of each mutant), so they live in the
+  /// deterministic section like the dedup counters.
+  uint64_t patch_hits = 0;
+  uint64_t patch_fallbacks = 0;
   /// Mutation rows: records that individually compiled and booted (not
   /// canonical duplicates, not compile-time failures).
   uint64_t unique_boots = 0;

@@ -18,7 +18,9 @@ constexpr const char* kFormatTag = "devil-repro-shard";
 // Version 2: records carry interpreter step counts (and flight-recorder
 // traces when present), artifacts carry the baseline boot's steps and VM
 // opcode profile, and bundles may embed process metrics.
-constexpr int64_t kFormatVersion = 2;
+// Version 3: records carry `patched`/`patch_fallback` bits and campaign
+// artifacts the matching `patch_hits`/`patch_fallbacks` counters.
+constexpr int64_t kFormatVersion = 3;
 
 /// All outcomes, in enum order, for tally serialization and the reverse
 /// outcome_short lookup.
@@ -229,6 +231,8 @@ std::string campaign_fingerprint(const DriverCampaignConfig& config) {
   h.update_u64(config.flight_recorder ? 1 : 0);
   // Deliberately not hashed: config.threads — results are thread-count
   // invariant (ctest-enforced), so shards may run at different widths.
+  // Likewise config.bytecode_patch: patched and recompiled boots are
+  // byte-identical (ctest-enforced), so the flag only moves telemetry bits.
   return h.hex();
 }
 
@@ -258,6 +262,8 @@ ShardArtifact run_campaign_shard(const DriverCampaignConfig& config,
   a.clean_fingerprint = res.clean_fingerprint;
   a.deduped_mutants = res.deduped_mutants;
   a.prefix_cache_hits = res.prefix_cache_hits;
+  a.patch_hits = res.patch_hits;
+  a.patch_fallbacks = res.patch_fallbacks;
   a.tally = res.tally;
   a.baseline_steps = res.baseline_steps;
   a.baseline_opcodes = res.baseline_opcodes;
@@ -347,6 +353,8 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
     c.set("clean_fingerprint", a.clean_fingerprint);
     c.set("deduped_mutants", a.deduped_mutants);
     c.set("prefix_cache_hits", a.prefix_cache_hits);
+    c.set("patch_hits", a.patch_hits);
+    c.set("patch_fallbacks", a.patch_fallbacks);
     c.set("baseline_steps", a.baseline_steps);
     c.set("baseline_opcodes", opcode_profile_to_json(a.baseline_opcodes));
 
@@ -368,6 +376,8 @@ std::string serialize_shard_bundle(const ShardBundle& bundle) {
       if (!r.rec.detail.empty()) rec.set("detail", r.rec.detail);
       if (r.rec.deduped) rec.set("deduped", true);
       if (r.cache_hit) rec.set("cache_hit", true);
+      if (r.rec.patched) rec.set("patched", true);
+      if (r.rec.patch_fallback) rec.set("patch_fallback", true);
       if (a.dedup) rec.set("key", support::hex128(r.key_hi, r.key_lo));
       if (!r.rec.trace.empty()) rec.set("trace", r.rec.trace);
       records.push_back(std::move(rec));
@@ -455,6 +465,8 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
   a.clean_fingerprint = require(c, "clean_fingerprint", ctx).as_int();
   a.deduped_mutants = require_size(c, "deduped_mutants", ctx);
   a.prefix_cache_hits = require_size(c, "prefix_cache_hits", ctx);
+  a.patch_hits = require_size(c, "patch_hits", ctx);
+  a.patch_fallbacks = require_size(c, "patch_fallbacks", ctx);
   a.baseline_steps = static_cast<uint64_t>(
       require_size(c, "baseline_steps", ctx));
   a.baseline_opcodes = opcode_profile_from_json(
@@ -477,7 +489,7 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
         " (truncated artifact?)");
   }
   a.records.reserve(records.size());
-  size_t deduped = 0, cache_hits = 0;
+  size_t deduped = 0, cache_hits = 0, patch_hits = 0, patch_fallbacks = 0;
   for (size_t i = 0; i < records.size(); ++i) {
     const std::string rctx = ctx + " record #" + std::to_string(i);
     const support::JsonValue& rj = records[i];
@@ -492,6 +504,8 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
     }
     r.rec.deduped = optional_flag(rj, "deduped");
     r.cache_hit = optional_flag(rj, "cache_hit");
+    r.rec.patched = optional_flag(rj, "patched");
+    r.rec.patch_fallback = optional_flag(rj, "patch_fallback");
     if (const support::JsonValue* trace = rj.find("trace")) {
       r.rec.trace = trace->as_string();
     }
@@ -504,6 +518,8 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
     }
     deduped += r.rec.deduped ? 1 : 0;
     cache_hits += r.cache_hit ? 1 : 0;
+    patch_hits += r.rec.patched ? 1 : 0;
+    patch_fallbacks += r.rec.patch_fallback ? 1 : 0;
     a.records.push_back(std::move(r));
   }
 
@@ -520,6 +536,20 @@ ShardArtifact parse_artifact(const support::JsonValue& c, size_t position) {
                              std::to_string(a.prefix_cache_hits) +
                              " but the records carry " +
                              std::to_string(cache_hits) +
+                             " (corrupt artifact?)");
+  }
+  if (patch_hits != a.patch_hits) {
+    throw std::runtime_error(ctx + ": patch_hits says " +
+                             std::to_string(a.patch_hits) +
+                             " but the records carry " +
+                             std::to_string(patch_hits) +
+                             " (corrupt artifact?)");
+  }
+  if (patch_fallbacks != a.patch_fallbacks) {
+    throw std::runtime_error(ctx + ": patch_fallbacks says " +
+                             std::to_string(a.patch_fallbacks) +
+                             " but the records carry " +
+                             std::to_string(patch_fallbacks) +
                              " (corrupt artifact?)");
   }
   for (const ShardRecord& r : a.records) {
@@ -709,6 +739,8 @@ CampaignMetricsRow shard_metrics_row(const ShardArtifact& a) {
   res.entry = a.entry;
   res.deduped_mutants = a.deduped_mutants;
   res.prefix_cache_hits = a.prefix_cache_hits;
+  res.patch_hits = a.patch_hits;
+  res.patch_fallbacks = a.patch_fallbacks;
   res.tally = a.tally;
   res.baseline_steps = a.baseline_steps;
   res.baseline_opcodes = a.baseline_opcodes;

@@ -76,6 +76,11 @@ struct ShardArtifact {
 
   size_t deduped_mutants = 0;    // shard-local (dedup never crosses shards)
   size_t prefix_cache_hits = 0;  // shard-local
+  /// Bytecode-patch telemetry: sums of the records' `patched` and
+  /// `patch_fallback` bits. Deliberately absent from the fingerprint —
+  /// patching can never change records or tallies, only these counters.
+  size_t patch_hits = 0;         // shard-local
+  size_t patch_fallbacks = 0;    // shard-local
   Tally tally;                   // shard-local, over `records`
 
   /// Deterministic baseline telemetry (DriverCampaignResult): every shard

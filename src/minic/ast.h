@@ -86,6 +86,14 @@ struct Expr {
   Type cast_type;              // kCast
   std::vector<ExprPtr> sub;
 
+  // Mutation-site provenance, copied from the tokens that produced the node
+  // (kNoSite when untracked). `site` is the value token's tag (kIntLit /
+  // kIdent name / kCall callee); `op_site` the operator token's tag on
+  // kUnary / kBinary / kAssign. Synthesized nodes (for-loop `true`, the `1`
+  // of a postfix ++ desugar) stay untagged.
+  uint32_t site = kNoSite;
+  uint32_t op_site = kNoSite;
+
   // Filled by the type checker; consumed by the interpreter.
   Type type;
   // Static resolution (also filled by the type checker) so the interpreter

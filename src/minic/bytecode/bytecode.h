@@ -317,6 +317,55 @@ struct Module {
   }
 };
 
+/// One-line leaf shapes a kCall can fuse into (kCallRetParam & co). Public
+/// so the patcher can re-derive the fused opcode when it rewrites a callee
+/// index; classification itself lives in compiler.cc.
+enum class LeafShape : uint8_t { kNone, kRetParam, kRetConst, kOutConst };
+
+/// Classifies `fn` against the one-line leaf templates.
+[[nodiscard]] LeafShape classify_leaf_shape(const CompiledFunction& fn);
+
+/// (Re)builds `mod`'s flat prefix+tail dispatch views. Must run after the
+/// owned vectors reach their final sizes; the patcher calls it on clones.
+void finalize_module_tables(Module& mod);
+
+// ---------------------------------------------------------------------------
+// Mutation-site patch points
+// ---------------------------------------------------------------------------
+
+/// Which operand of an instruction encodes a mutation site's token. The
+/// patcher dispatches on the *final* opcode at the point (emit-time fusion
+/// rewrites instructions in place, so recorded indices stay valid) and falls
+/// back to recompilation for any opcode/role pair it does not recognise.
+enum class PatchRole : uint8_t {
+  kLiteral,      // literal value (imm — or c once kBinImm fused to a jump)
+  kPackedPort,   // low 32 bits of a kInConstAnd/kPollInAnd packed imm
+  kPackedMask,   // high 32 bits of the same
+  kOperator,     // unary/binary/compound operator (field depends on opcode)
+  kGlobalLoad,   // global slot in `b` of a kLoadGlobal*
+  kGlobalStore,  // global slot in `a` of a store-to-global opcode
+  kCallee,       // callee index in `b` of a kCall-family opcode
+};
+
+/// Sentinel PatchPoint::fn for points inside the tail globals initialiser.
+inline constexpr uint32_t kGlobalsInitFn = 0xffffffffu;
+
+/// One place a mutation site's token lowered to.
+struct PatchPoint {
+  uint32_t site = 0;  // mutation::SiteId carried as token provenance
+  uint32_t fn = 0;    // absolute function index, or kGlobalsInitFn
+  uint32_t insn = 0;  // index into that function's code
+  PatchRole role = PatchRole::kLiteral;
+};
+
+/// Every patch point of one clean tail compile, in emission order. A site
+/// with no points (lowered away, parser-folded, local-only) cannot be
+/// patched and its mutants recompile the tail instead.
+struct PatchTable {
+  uint32_t fn_base = 0;  // absolute index of the first tail function
+  std::vector<PatchPoint> points;
+};
+
 /// Lowers a typechecked unit. Throws minic::Fault{kInternal} on malformed
 /// input (e.g. a unit that bypassed the type checker), mirroring the tree
 /// walker's runtime kInternal faults.
@@ -331,9 +380,10 @@ struct Module {
 /// callee/global indices continue the prefix's numbering) and splices it
 /// after `segment`. `prefix_unit` must be the unit `segment` was compiled
 /// from. The result aliases the segment's code — nothing is recompiled or
-/// copied but the tail.
+/// copied but the tail. When `patch` is non-null (the campaign's clean
+/// recording compile), every mutation-site patch point is appended to it.
 [[nodiscard]] Module compile_tail_unit(
     std::shared_ptr<const ModuleSegment> segment, const Unit& prefix_unit,
-    const Unit& tail_unit);
+    const Unit& tail_unit, PatchTable* patch = nullptr);
 
 }  // namespace minic::bytecode

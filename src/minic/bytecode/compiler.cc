@@ -35,6 +35,7 @@ struct ModuleBuilder {
   const Unit& unit;               // the unit being lowered (tail or whole)
   const Unit* prefix_unit = nullptr;  // prefix decls when lowering a tail
   const ModuleSegment* seg = nullptr;
+  PatchTable* patch_out = nullptr;    // clean recording compile only
   Module mod;
   std::map<std::string, uint32_t> string_ix;  // local additions, absolute ix
   std::map<std::string, uint32_t> struct_ix;  // local additions, absolute ix
@@ -135,8 +136,9 @@ struct ModuleBuilder {
 /// Lowers one function (or the synthetic globals initialiser).
 class FunctionCompiler {
  public:
-  FunctionCompiler(ModuleBuilder& mb, const FunctionDecl* decl)
-      : mb_(mb), decl_(decl) {
+  FunctionCompiler(ModuleBuilder& mb, const FunctionDecl* decl,
+                   uint32_t fn_id)
+      : mb_(mb), decl_(decl), fn_id_(fn_id) {
     if (decl_) {
       out_.name = decl_->name;
       out_.nslots = decl_->frame_slots;
@@ -351,6 +353,16 @@ class FunctionCompiler {
   size_t push(const Insn& in) {
     out_.code.push_back(in);
     return out_.code.size() - 1;
+  }
+  /// Records a mutation-site patch point at `insn` (see PatchTable). No-op
+  /// outside the campaign's clean recording compile or for untagged tokens.
+  /// Points are recorded after the insn is pushed, so emit-time fusions that
+  /// rewrite it in place (kBinJump & co) leave the index valid; the patcher
+  /// dispatches on the final opcode.
+  void record(uint32_t site, size_t insn, PatchRole role) {
+    if (site == kNoSite || mb_.patch_out == nullptr) return;
+    mb_.patch_out->points.push_back(
+        {site, fn_id_, static_cast<uint32_t>(insn), role});
   }
   size_t here() const { return out_.code.size(); }
   /// Marks the current position as a jump target: emit-time fusion must not
@@ -679,7 +691,7 @@ class FunctionCompiler {
         in.a = operand;
         in.b = t;
         in.imm = static_cast<int64_t>(c.value->int_value);
-        push(in);
+        record(c.value->site, push(in), PatchRole::kLiteral);
         arm_jumps[i] = emit_branch(Op::kJumpIfNotZero, t);
       } else {
         emit_mark(c.loc.line);
@@ -725,7 +737,7 @@ class FunctionCompiler {
         Insn in = base(Op::kLoadConst, e.loc.line);
         in.a = r;
         in.imm = static_cast<int64_t>(e.int_value);
-        push(in);
+        record(e.site, push(in), PatchRole::kLiteral);
         return r;
       }
       case ExprKind::kStringLit: {
@@ -755,7 +767,8 @@ class FunctionCompiler {
           return emit_unreachable("unbound name " + e.text, e.loc.line, dst);
         }
         in.a = r;
-        push(in);
+        size_t ix = push(in);
+        if (e.frame_slot < 0) record(e.site, ix, PatchRole::kGlobalLoad);
         return r;
       }
       case ExprKind::kUnary: {
@@ -775,7 +788,7 @@ class FunctionCompiler {
         if (pre) in.flags = kInsnFree;
         in.a = r;
         in.b = rs;
-        push(in);
+        record(e.op_site, push(in), PatchRole::kOperator);
         return r;
       }
       case ExprKind::kBinary:
@@ -859,6 +872,7 @@ class FunctionCompiler {
       in.a = r;
       in.b = ls;
       size_t jshort = push(in);
+      record(e.op_site, jshort, PatchRole::kOperator);
       uint16_t rs = compile_expr(*e.sub[1]);
       Insn norm = base(Op::kBoolNorm, e.loc.line);
       norm.a = r;
@@ -891,7 +905,11 @@ class FunctionCompiler {
       in.a = r;
       in.w = b == Builtin::kInb ? 8 : b == Builtin::kInw ? 16 : 32;
       in.imm = static_cast<int64_t>(port | (mask << 32));
-      push(in);
+      size_t ix = push(in);
+      // The `&` site itself is not recorded: no other operator can express
+      // this fusion, so its mutants fall back to recompilation.
+      record(e.sub[0]->sub[0]->site, ix, PatchRole::kPackedPort);
+      record(e.sub[1]->site, ix, PatchRole::kPackedMask);
       return r;
     }
     bool pre =
@@ -907,7 +925,9 @@ class FunctionCompiler {
       in.b = ls;
       in.w = static_cast<uint8_t>(e.op);
       in.imm = static_cast<int64_t>(e.sub[1]->int_value);
-      push(in);
+      size_t ix = push(in);
+      record(e.op_site, ix, PatchRole::kOperator);
+      record(e.sub[1]->site, ix, PatchRole::kLiteral);
       return r;
     }
     uint16_t rs = compile_expr(*e.sub[1]);
@@ -938,7 +958,7 @@ class FunctionCompiler {
     in.a = r;
     in.b = ls;
     in.c = rs;
-    push(in);
+    record(e.op_site, push(in), PatchRole::kOperator);
     return r;
   }
 
@@ -1046,7 +1066,10 @@ class FunctionCompiler {
           in.c = static_cast<uint16_t>(op);
           in.w = co;
           in.imm = static_cast<int64_t>(rhs.int_value);
-          push(in);
+          size_t ix = push(in);
+          record(e.op_site, ix, PatchRole::kOperator);
+          record(rhs.site, ix, PatchRole::kLiteral);
+          if (!local) record(lhs.site, ix, PatchRole::kGlobalStore);
         } else {
           uint16_t rv = compile_expr(rhs);
           Insn in = base(local ? Op::kOpStoreLocal : Op::kOpStoreGlobal,
@@ -1056,7 +1079,9 @@ class FunctionCompiler {
           in.b = rv;
           in.c = static_cast<uint16_t>(op);
           in.w = co;
-          push(in);
+          size_t ix = push(in);
+          record(e.op_site, ix, PatchRole::kOperator);
+          if (!local) record(lhs.site, ix, PatchRole::kGlobalStore);
         }
         return used ? take_stored(dst) : 0;
       }
@@ -1076,7 +1101,9 @@ class FunctionCompiler {
         in.c = co;
         in.w = static_cast<uint8_t>(rhs.op);
         in.imm = static_cast<int64_t>(rhs.sub[1]->int_value);
-        push(in);
+        size_t ix = push(in);
+        record(rhs.op_site, ix, PatchRole::kOperator);
+        record(rhs.sub[1]->site, ix, PatchRole::kLiteral);
         return used ? take_stored(dst) : 0;
       }
       uint16_t rv = compile_expr(rhs);
@@ -1091,7 +1118,8 @@ class FunctionCompiler {
       in.a = slot;
       in.b = rv;
       in.w = co;
-      push(in);
+      size_t ix = push(in);
+      if (!local) record(lhs.site, ix, PatchRole::kGlobalStore);
       if (!used) return 0;
       return lvk == VK::kInt ? take_stored(dst) : place(rv, lvk, dst);
     }
@@ -1120,7 +1148,7 @@ class FunctionCompiler {
         in.b = ri;
         in.c = rv;
         in.imm = PackedElemOp::pack(name_ix, static_cast<uint8_t>(op), co);
-        push(in);
+        record(e.op_site, push(in), PatchRole::kOperator);
       } else {
         Insn in = base(local ? Op::kStoreElemLocal : Op::kStoreElemGlobal,
                        e.loc.line);
@@ -1159,7 +1187,9 @@ class FunctionCompiler {
         in.c = rv;
         in.w = co;
         in.imm = static_cast<int64_t>(static_cast<uint8_t>(op));
-        push(in);
+        size_t ix = push(in);
+        record(e.op_site, ix, PatchRole::kOperator);
+        if (!local) record(b.site, ix, PatchRole::kGlobalStore);
         return used ? take_stored(dst) : 0;
       }
       Op op = lvk == VK::kInt   ? (local ? Op::kStoreFieldLocalInt
@@ -1174,7 +1204,8 @@ class FunctionCompiler {
       in.b = field;
       in.c = rv;
       in.w = co;
-      push(in);
+      size_t ix = push(in);
+      if (!local) record(b.site, ix, PatchRole::kGlobalStore);
       if (!used) return 0;
       return lvk == VK::kInt ? take_stored(dst) : place(rv, lvk, dst);
     }
@@ -1244,7 +1275,7 @@ class FunctionCompiler {
       in.b = static_cast<uint16_t>(e.callee_index);
       in.c = argbase;
       in.imm = static_cast<int64_t>(argc);
-      push(in);
+      record(e.site, push(in), PatchRole::kCallee);
       return r;
     }
     return emit_unreachable("unresolved call to " + e.text, e.loc.line, dst);
@@ -1267,7 +1298,7 @@ class FunctionCompiler {
           in.a = r;
           in.w = width;
           in.imm = static_cast<int64_t>(e.sub[0]->int_value);
-          push(in);
+          record(e.sub[0]->site, push(in), PatchRole::kLiteral);
           return r;
         }
         uint16_t rp = compile_expr(*e.sub[0]);
@@ -1395,6 +1426,7 @@ class FunctionCompiler {
 
   ModuleBuilder& mb_;
   const FunctionDecl* decl_;
+  uint32_t fn_id_ = kGlobalsInitFn;  // absolute index for patch points
   CompiledFunction out_;
   std::vector<Type> slot_types_;
   std::vector<bool> slot_is_array_;
@@ -1405,11 +1437,10 @@ class FunctionCompiler {
   std::vector<LoopCtx> loops_;
 };
 
-/// One-line leaf shapes a kCall can fuse into (see bytecode.h). The whole
-/// callee body must match the template *exactly*, charges included, so the
-/// fused dispatch can replay its charges/marks from the callee's code.
-enum class LeafShape : uint8_t { kNone, kRetParam, kRetConst, kOutConst };
-
+/// Classifies one-line leaf shapes a kCall can fuse into (LeafShape lives
+/// in bytecode.h). The whole callee body must match the template *exactly*,
+/// charges included, so the fused dispatch can replay its charges/marks
+/// from the callee's code.
 LeafShape classify_leaf(const CompiledFunction& fn) {
   const auto& c = fn.code;
   // `{ return p; }` / `{ return K; }` — block+statement charge, one loading
@@ -1503,18 +1534,25 @@ void lower_into(ModuleBuilder& mb, uint32_t fn_base) {
   const Unit& unit = mb.unit;
   mb.mod.fns.reserve(unit.functions.size());
   for (size_t i = 0; i < unit.functions.size(); ++i) {
-    FunctionCompiler fc(mb, &unit.functions[i]);
+    FunctionCompiler fc(mb, &unit.functions[i],
+                        fn_base + static_cast<uint32_t>(i));
     mb.mod.fns.push_back(fc.compile_body());
     // First definition wins for name lookup, matching the walker's linear
     // call_function scan (duplicates are checker errors anyway).
     mb.mod.fn_index.emplace(unit.functions[i].name,
                             fn_base + static_cast<uint32_t>(i));
   }
-  FunctionCompiler gc(mb, nullptr);
+  FunctionCompiler gc(mb, nullptr, kGlobalsInitFn);
   mb.mod.globals_init = gc.compile_globals_init();
 }
 
 }  // namespace
+
+LeafShape classify_leaf_shape(const CompiledFunction& fn) {
+  return classify_leaf(fn);
+}
+
+void finalize_module_tables(Module& mod) { finalize_tables(mod); }
 
 Module compile_unit(const Unit& unit) {
   ModuleBuilder mb(unit);
@@ -1546,9 +1584,12 @@ std::shared_ptr<const ModuleSegment> compile_prefix(const Unit& prefix_unit) {
 }
 
 Module compile_tail_unit(std::shared_ptr<const ModuleSegment> segment,
-                         const Unit& prefix_unit, const Unit& tail_unit) {
+                         const Unit& prefix_unit, const Unit& tail_unit,
+                         PatchTable* patch) {
   ModuleBuilder mb(tail_unit, prefix_unit, *segment);
   uint32_t fn_base = static_cast<uint32_t>(segment->fns.size());
+  mb.patch_out = patch;
+  if (patch) patch->fn_base = fn_base;
   mb.mod.prefix = std::move(segment);
   lower_into(mb, fn_base);
   finalize_tables(mb.mod);

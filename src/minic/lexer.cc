@@ -1,5 +1,6 @@
 #include "minic/lexer.h"
 
+#include <algorithm>
 #include <cctype>
 #include <unordered_map>
 
@@ -342,12 +343,29 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
   file_tok.kind = Tok::kStringLit;
   file_tok.text = buf.name();
 
+  // Tags a freshly scanned token with its mutation-site id when its byte
+  // span matches a span exactly. `end` is the scanner offset just past the
+  // token (next_raw leaves it there).
+  const std::vector<SiteSpan>* spans = options.site_spans;
+  auto tag_site = [&](Token& t, size_t end) {
+    if (!spans || spans->empty() || end <= t.loc.offset) return;
+    uint32_t off = static_cast<uint32_t>(t.loc.offset);
+    uint32_t len = static_cast<uint32_t>(end - t.loc.offset);
+    auto it = std::lower_bound(
+        spans->begin(), spans->end(), off,
+        [](const SiteSpan& s, uint32_t o) { return s.offset < o; });
+    if (it != spans->end() && it->offset == off && it->length == len) {
+      t.site = it->id;
+    }
+  };
+
   // Expands `tok` (an identifier) into `out.tokens`, recursively.
   auto expand = [&](const Token& tok, auto&& self, int depth) -> void {
     if (tok.kind == Tok::kIdent) {
       if (tok.text == "__FILE__") {
         Token t = file_tok;
         t.loc = tok.loc;
+        t.from_expansion = true;
         out.tokens.push_back(std::move(t));
         return;
       }
@@ -358,9 +376,17 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
           return;
         }
         out.macro_use_lines[tok.text].insert(tok.loc.line);
+        // A single-int-literal body inherits the *use* token's site tag: a
+        // rename of the macro-use identifier lands exactly where the value
+        // lowered. Longer bodies keep their own (define-body) tags, whose
+        // sites the patcher refuses — use-site provenance would be ambiguous.
+        const bool single_int =
+            body->size() == 1 && (*body)[0].kind == Tok::kIntLit;
         for (const Token& body_tok : *body) {
           Token t = body_tok;
           t.loc = tok.loc;  // use-site location, as a C compiler reports
+          t.from_expansion = true;
+          if (single_int) t.site = tok.site;
           self(t, self, depth + 1);
         }
         return;
@@ -392,7 +418,9 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
       while (!sc.at_eol()) {
         sc.skip_spaces_and_comments();
         if (sc.peek() == '\n' || sc.peek() == '\0') break;
-        body.push_back(sc.next_raw());
+        Token body_tok = sc.next_raw();
+        tag_site(body_tok, sc.loc_.offset);
+        body.push_back(std::move(body_tok));
       }
       if (find_macro(name.text)) {
         diags.error("MC016", name.loc,
@@ -406,6 +434,7 @@ LexOutput lex_unit(const support::SourceBuffer& buf,
       out.tokens.push_back(std::move(t));
       break;
     }
+    tag_site(t, sc.loc_.offset);
     expand(t, expand, 0);
   }
   return out;

@@ -39,6 +39,11 @@ struct LexOptions {
   /// added to every token line so diagnostics and coverage agree with
   /// whole-unit lexing.
   uint32_t line_offset = 0;
+  /// Mutation-site byte spans of THIS buffer, sorted by offset (disjoint).
+  /// A token whose span matches exactly is tagged with the span's id; see
+  /// SiteSpan. Not owned; may be null. Only the campaign's clean recording
+  /// compile passes spans — mutated sources would shift the offsets.
+  const std::vector<SiteSpan>* site_spans = nullptr;
 };
 
 /// Lexes and preprocesses a MiniC translation unit.

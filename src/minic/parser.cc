@@ -413,9 +413,11 @@ StmtPtr Parser::parse_statement() {
 ExprPtr Parser::parse_assignment() {
   ExprPtr lhs = parse_conditional();
   if (is_assign_op(peek().kind)) {
-    Tok op = advance().kind;
+    const Token& op_tok = advance();
+    Tok op = op_tok.kind;
     auto e = make_expr(ExprKind::kAssign, lhs->loc);
     e->op = op;
+    e->op_site = op_tok.site;
     e->sub.push_back(std::move(lhs));
     e->sub.push_back(parse_assignment());
     return e;
@@ -441,10 +443,12 @@ ExprPtr Parser::parse_binary(int min_prec) {
   for (;;) {
     int prec = precedence(peek().kind);
     if (prec < 0 || prec < min_prec) return lhs;
-    Tok op = advance().kind;
+    const Token& op_tok = advance();
+    Tok op = op_tok.kind;
     ExprPtr rhs = parse_binary(prec + 1);
     auto e = make_expr(ExprKind::kBinary, lhs->loc);
     e->op = op;
+    e->op_site = op_tok.site;
     e->sub.push_back(std::move(lhs));
     e->sub.push_back(std::move(rhs));
     lhs = std::move(e);
@@ -458,9 +462,11 @@ ExprPtr Parser::parse_unary() {
     case Tok::kTilde:
     case Tok::kBang:
     case Tok::kPlus: {
-      Tok op = advance().kind;
+      const Token& op_tok = advance();
+      Tok op = op_tok.kind;
       auto e = make_expr(ExprKind::kUnary, loc);
       e->op = op;
+      e->op_site = op_tok.site;
       e->sub.push_back(parse_unary());
       return e;
     }
@@ -558,6 +564,7 @@ ExprPtr Parser::parse_primary() {
       auto e = make_expr(ExprKind::kIntLit, loc);
       e->int_value = t.int_value;
       e->text = t.text;
+      e->site = t.site;
       return e;
     }
     case Tok::kStringLit: {
@@ -571,6 +578,7 @@ ExprPtr Parser::parse_primary() {
       if (check(Tok::kLParen)) {
         auto e = make_expr(ExprKind::kCall, loc);
         e->text = t.text;
+        e->site = t.site;
         advance();  // (
         if (!check(Tok::kRParen)) {
           do {
@@ -582,6 +590,7 @@ ExprPtr Parser::parse_primary() {
       }
       auto e = make_expr(ExprKind::kIdent, loc);
       e->text = t.text;
+      e->site = t.site;
       return e;
     }
     default:

@@ -172,6 +172,122 @@ SplicedProgram compile_tail(const PreparedPrefix& prefix,
   return out;
 }
 
+RecordedTail compile_tail_recording(const PreparedPrefix& prefix,
+                                    const std::string& tail,
+                                    const std::vector<SiteSpan>& site_spans) {
+  if (!prefix.compiled) {
+    throw std::logic_error(
+        "compile_tail_recording: prefix has no stage-1 cache (prepare_prefix "
+        "failed or the prefix is not self-contained)");
+  }
+  const CompiledPrefix& cp = *prefix.compiled;
+  RecordedTail out;
+  SplicedProgram& sp = out.spliced;
+  support::SourceBuffer buf(prefix.name, tail);
+  LexOptions options;
+  options.seed_macros = &prefix.macros;
+  options.line_offset = prefix.lines;
+  options.site_spans = &site_spans;
+  LexOutput lexed = [&] {
+    StageTimer timer(Stage::kLex);
+    return lex_unit(buf, sp.diags, options);
+  }();
+  if (sp.diags.has_errors()) return out;
+
+  sp.macro_use_lines = prefix.macro_use_lines;
+  for (auto& [name, lines] : lexed.macro_use_lines) {
+    sp.macro_use_lines[name].insert(lines.begin(), lines.end());
+  }
+  out.tail_macro_use_lines = lexed.macro_use_lines;
+  out.macros = prefix.macros;
+  for (auto& [name, body] : lexed.macros) out.macros[name] = body;
+  out.tokens = lexed.tokens;  // the fast dedup-key path reuses these
+
+  auto tail_unit = [&] {
+    StageTimer timer(Stage::kParse);
+    Parser parser(std::move(lexed.tokens), sp.diags);
+    return parser.parse();
+  }();
+  if (!tail_unit) return out;
+  bool needs_whole_unit = false;
+  bool checked = [&] {
+    StageTimer timer(Stage::kTypecheck);
+    return typecheck_tail(*tail_unit, cp.symbols, sp.diags, &needs_whole_unit);
+  }();
+  if (needs_whole_unit) {
+    out.spliced = spliced_from_whole_unit(prefix, tail);
+    out.spliced.whole_unit_fallback = true;
+    return out;
+  }
+  if (!checked) return out;
+
+  try {
+    StageTimer timer(Stage::kSplice);
+    sp.module = std::make_shared<bytecode::Module>(bytecode::compile_tail_unit(
+        cp.segment, cp.unit, *tail_unit, &out.patch));
+  } catch (const Fault& f) {
+    sp.internal_error = f.message;
+    return out;
+  }
+  out.tail_unit = std::make_unique<Unit>(std::move(*tail_unit));
+  return out;
+}
+
+CheckedTail check_tail(const PreparedPrefix& prefix, const std::string& tail) {
+  if (!prefix.compiled) {
+    throw std::logic_error(
+        "check_tail: prefix has no stage-1 cache (prepare_prefix failed or "
+        "the prefix is not self-contained)");
+  }
+  const CompiledPrefix& cp = *prefix.compiled;
+  CheckedTail out;
+  support::SourceBuffer buf(prefix.name, tail);
+  LexOptions options;
+  options.seed_macros = &prefix.macros;
+  options.line_offset = prefix.lines;
+  LexOutput lexed = [&] {
+    StageTimer timer(Stage::kLex);
+    return lex_unit(buf, out.diags, options);
+  }();
+  if (out.diags.has_errors()) return out;
+
+  out.macro_use_lines = prefix.macro_use_lines;
+  for (auto& [name, lines] : lexed.macro_use_lines) {
+    out.macro_use_lines[name].insert(lines.begin(), lines.end());
+  }
+
+  auto tail_unit = [&] {
+    StageTimer timer(Stage::kParse);
+    Parser parser(std::move(lexed.tokens), out.diags);
+    return parser.parse();
+  }();
+  if (!tail_unit) return out;
+  bool needs_whole_unit = false;
+  bool checked = [&] {
+    StageTimer timer(Stage::kTypecheck);
+    return typecheck_tail(*tail_unit, cp.symbols, out.diags, &needs_whole_unit);
+  }();
+  if (needs_whole_unit) {
+    out.whole_unit_fallback = true;
+    return out;
+  }
+  if (!checked) return out;
+  out.unit = std::make_unique<Unit>(std::move(*tail_unit));
+  return out;
+}
+
+RunOutcome run_tail_unit(const PreparedPrefix& prefix, const Unit& tail_unit,
+                         IoEnvironment& io, const std::string& entry,
+                         uint64_t step_budget, uint64_t watchdog_ms) {
+  if (!prefix.compiled) {
+    throw std::logic_error("run_tail_unit: prefix has no stage-1 cache");
+  }
+  StageTimer timer(Stage::kBoot);
+  Interp interp(prefix.compiled->unit, tail_unit, io, step_budget);
+  interp.set_watchdog_ms(watchdog_ms);
+  return interp.run(entry);
+}
+
 RunOutcome run_module(const bytecode::Module& module, IoEnvironment& io,
                       const std::string& entry, uint64_t step_budget,
                       bytecode::OpcodeProfile* profile, uint64_t watchdog_ms) {

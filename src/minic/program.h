@@ -151,6 +151,62 @@ struct SplicedProgram {
 [[nodiscard]] SplicedProgram compile_tail(const PreparedPrefix& prefix,
                                           const std::string& tail);
 
+/// Clean-compile artifact for the bytecode patcher: `compile_tail` with the
+/// driver's mutation-site spans threaded into the lexer, returning — next to
+/// the spliced module — everything a `bytecode::Patcher` needs: the recorded
+/// patch table, the parsed+typechecked tail unit, the final macro table, and
+/// the clean site-tagged token stream (the campaign's fast dedup-key path
+/// serializes per-token key spans from it). On a whole-unit fallback the
+/// patch table stays empty and `tail_unit` null: every mutant of such a
+/// campaign recompiles, exactly as before.
+struct RecordedTail {
+  SplicedProgram spliced;
+  bytecode::PatchTable patch;
+  std::unique_ptr<Unit> tail_unit;  // null on errors or whole-unit fallback
+  MacroTable macros;                // prefix seeds + tail definitions
+  std::vector<Token> tokens;        // expanded clean tail tokens, incl. kEof
+  /// Macro uses from the tail buffer ONLY (pre-merge) — the campaign's
+  /// canonical dedup key serializes exactly this map, never the merged one.
+  std::map<std::string, std::set<uint32_t>> tail_macro_use_lines;
+};
+
+/// Runs the stage-2+3 pipeline once on the CLEAN driver tail, recording
+/// patch points. `site_spans` must be sorted, disjoint byte spans of `tail`
+/// (mutation::scan_c_sites order satisfies this).
+[[nodiscard]] RecordedTail compile_tail_recording(
+    const PreparedPrefix& prefix, const std::string& tail,
+    const std::vector<SiteSpan>& site_spans);
+
+/// Tail-only front end for the tree-walker oracle: lexes, parses and
+/// typechecks ONLY `tail` against the cached prefix symbols, yielding a unit
+/// the layered walker (`run_tail_unit`) executes on top of the prefix's
+/// already-typechecked declarations. Symbol collisions that only whole-unit
+/// checking reproduces set `whole_unit_fallback`; callers then compile via
+/// `compile_with_prefix` + `run_unit`, mirroring the VM path's fallback.
+struct CheckedTail {
+  support::DiagnosticEngine diags;
+  std::unique_ptr<Unit> unit;  // typechecked tail; null when checking failed
+  std::map<std::string, std::set<uint32_t>> macro_use_lines;
+  bool whole_unit_fallback = false;
+
+  [[nodiscard]] bool ok() const { return unit != nullptr; }
+};
+
+[[nodiscard]] CheckedTail check_tail(const PreparedPrefix& prefix,
+                                     const std::string& tail);
+
+/// Runs `entry` on the tree walker layered over the prefix cache: the
+/// interpreter resolves functions, globals and structs against the prefix's
+/// typechecked unit first, then the tail — observationally identical to
+/// whole-unit walking of `prefix + tail` (ctest-enforced). `prefix.compiled`
+/// must be non-null and must outlive the call.
+[[nodiscard]] RunOutcome run_tail_unit(const PreparedPrefix& prefix,
+                                       const Unit& tail_unit,
+                                       IoEnvironment& io,
+                                       const std::string& entry,
+                                       uint64_t step_budget = 2'000'000,
+                                       uint64_t watchdog_ms = 0);
+
 /// Runs `entry` in a spliced module on the bytecode VM. The walker has no
 /// module form — use `run_unit` with a whole-unit Program for the oracle.
 /// A non-null `profile` accumulates per-opcode dispatch counts.

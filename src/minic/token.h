@@ -45,12 +45,33 @@ enum class Tok {
 
 [[nodiscard]] const char* tok_name(Tok t);
 
+/// "No provenance" site tag. Tokens the mutation model cannot touch (and all
+/// tokens of buffers lexed without site spans) carry this.
+inline constexpr uint32_t kNoSite = 0xffffffffu;
+
+/// One mutation site's byte span in the buffer being lexed, plus its stable
+/// id (mutation::SiteId — the site's index in the scanner's vector). The
+/// lexer tags a token with `id` when the token's byte span matches exactly;
+/// minic knows nothing else about the mutation layer.
+struct SiteSpan {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+  uint32_t id = kNoSite;
+};
+
 struct Token {
   Tok kind = Tok::kEof;
   support::SourceLoc loc;       // use-site location (post macro expansion)
   std::string text;
   uint64_t int_value = 0;       // kIntLit
   int int_base = 10;            // 8, 10 or 16 — drives literal mutation class
+  /// Mutation-site provenance (kNoSite when untracked). A single-int-literal
+  /// macro body inherits the *use* token's tag on expansion, so a mutation of
+  /// a macro-use identifier can still be located in the lowered bytecode.
+  uint32_t site = kNoSite;
+  /// True for tokens produced by macro (or __FILE__) expansion rather than
+  /// scanned directly from the buffer.
+  bool from_expansion = false;
 
   [[nodiscard]] bool is(Tok t) const { return kind == t; }
 };

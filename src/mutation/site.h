@@ -13,6 +13,12 @@
 
 namespace mutation {
 
+/// Stable identity of a site for one scanned source: its index in the
+/// scanner's site vector. The campaign engine threads these through the
+/// MiniC front end (as minic::SiteSpan token provenance) so the bytecode
+/// compiler can map each site to the patch points it lowered to.
+using SiteId = uint32_t;
+
 enum class SiteKind { kLiteral, kOperator, kIdentifier };
 
 [[nodiscard]] const char* site_kind_name(SiteKind k);

@@ -40,6 +40,7 @@ const char* stage_name(Stage stage) {
     case Stage::kSplice: return "splice";
     case Stage::kBoot: return "boot";
     case Stage::kClassify: return "classify";
+    case Stage::kPatch: return "patch";
   }
   return "?";
 }

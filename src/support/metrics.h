@@ -66,8 +66,9 @@ enum class Stage : uint8_t {
   kSplice,
   kBoot,
   kClassify,
+  kPatch,  // bytecode-patch mutant boots: clone + operand rewrite
 };
-inline constexpr size_t kStageCount = 7;
+inline constexpr size_t kStageCount = 8;
 
 [[nodiscard]] const char* stage_name(Stage stage);
 
