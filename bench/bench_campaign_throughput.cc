@@ -106,12 +106,13 @@ void campaign_engine_bench(benchmark::State& state,
   eval::DriverCampaignConfig cfg;
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.is_cdevil = true;
   cfg.threads = 1;
   cfg.engine = engine;
   size_t mutants = 0, deduped = 0;
   for (auto _ : state) {
-    auto res = eval::run_ide_campaign(cfg);
+    auto res = eval::run_driver_campaign(cfg);
     mutants = res.sampled_mutants;
     deduped = res.deduped_mutants;
     benchmark::DoNotOptimize(res.tally.total_mutants);
@@ -363,10 +364,11 @@ BENCHMARK(BM_PrefixCompileCached)->Unit(benchmark::kMillisecond);
 void BM_CampaignParallel(benchmark::State& state) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.threads = static_cast<unsigned>(state.range(0));
   size_t mutants = 0;
   for (auto _ : state) {
-    auto res = eval::run_ide_campaign(cfg);
+    auto res = eval::run_driver_campaign(cfg);
     mutants = res.sampled_mutants;
     benchmark::DoNotOptimize(res.tally.total_mutants);
   }
@@ -480,11 +482,12 @@ void BM_CampaignParallelCDevil(benchmark::State& state) {
   eval::DriverCampaignConfig cfg;
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.is_cdevil = true;
   cfg.threads = static_cast<unsigned>(state.range(0));
   size_t mutants = 0;
   for (auto _ : state) {
-    auto res = eval::run_ide_campaign(cfg);
+    auto res = eval::run_driver_campaign(cfg);
     mutants = res.sampled_mutants;
     benchmark::DoNotOptimize(res.tally.total_mutants);
   }

@@ -12,11 +12,12 @@
 int main(int argc, char** argv) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.unit_name = "ide_c.c";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all") == 0) cfg.sample_percent = 100;
   }
-  auto res = eval::run_ide_campaign(cfg);
+  auto res = eval::run_driver_campaign(cfg);
   std::printf("%s",
               eval::render_driver_table("Table 3: Mutations on C code", res)
                   .c_str());

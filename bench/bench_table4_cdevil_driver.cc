@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
   }
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.unit_name = "ide.dil";
   cfg.is_cdevil = true;
-  auto res = eval::run_ide_campaign(cfg);
+  auto res = eval::run_driver_campaign(cfg);
 
   const char* title = mode == devil::CodegenMode::kDebug
                           ? "Table 4: Mutations on CDevil code (debug stubs)"
@@ -51,9 +52,10 @@ int main(int argc, char** argv) {
     // Headline comparison against the C campaign (paper section 4.2).
     eval::DriverCampaignConfig c_cfg;
     c_cfg.driver = corpus::c_ide_driver();
+    c_cfg.device = eval::ide_binding();
     c_cfg.unit_name = "ide_c.c";
     c_cfg.sample_percent = cfg.sample_percent;
-    auto c_res = eval::run_ide_campaign(c_cfg);
+    auto c_res = eval::run_driver_campaign(c_cfg);
     std::printf("\n%s", eval::render_comparison(c_res, res).c_str());
   }
   return 0;

@@ -10,6 +10,11 @@
 // comparison — the whole paper evaluation in seconds. `--device
 // {ide,busmouse,all}` picks the device under test (default: all).
 //
+// Every campaign entry point consumes one eval::CampaignSpec: the flag
+// parser below fills the spec through the shared flag table
+// (eval/campaign_spec.h), the same table the campaign service uses to
+// rebuild worker argv — so flag -> spec field lives in exactly one place.
+//
 // Campaigns also shard across processes: `--shard i/N --out FILE` runs the
 // i-th of N slices of every selected campaign and writes a mergeable JSON
 // artifact; `--merge FILE...` recombines one artifact per shard into output
@@ -26,6 +31,21 @@
 // storming and delayed interrupts — where the CDevil handlers' in-service
 // guards detect what classic C absorbs. Fault campaigns compose with
 // `--shard`/`--merge` exactly like mutation campaigns.
+//
+// `--spec-campaign` runs the Table 2 experiment instead: mutate the Devil
+// specifications themselves and count what the Devil compiler rejects.
+//
+// `--serve ENDPOINT` turns the binary into a long-running campaign daemon
+// (src/serve): clients submit campaign requests over a socket, each job
+// fans out to `--shard` worker subprocesses of this same binary, and the
+// merged report streams back byte-identical to the single-process run.
+// `--dispatch ENDPOINT` is the matching client: the campaign flags build
+// the request spec, the served report prints on stdout and a one-line
+// cache/fan-out telemetry summary prints on stderr.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +57,7 @@
 #include "corpus/drivers.h"
 #include "corpus/specs.h"
 #include "devil/compiler.h"
+#include "eval/campaign_spec.h"
 #include "eval/device_bindings.h"
 #include "eval/driver_campaign.h"
 #include "eval/fault_campaign.h"
@@ -44,32 +65,22 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/shard.h"
+#include "eval/spec_campaign.h"
 #include "hw/ide_disk.h"
 #include "hw/io_bus.h"
 #include "minic/program.h"
+#include "serve/campaign_service.h"
+#include "serve/dispatcher.h"
+#include "serve/wire.h"
 #include "support/metrics.h"
+#include "support/subprocess.h"
 
 namespace {
 
-minic::ExecEngine g_engine = minic::ExecEngine::kBytecodeVm;
-bool g_flight_recorder = false;
-bool g_bytecode_patch = true;  // --no-bytecode-patch clears (telemetry only)
-uint64_t g_watchdog_ms = 10'000;  // per-boot wall-clock cap (0 = off)
 uint64_t g_start_ns = 0;  // process start, for the metrics wall clock
 
-/// Corpus registry the fault campaigns iterate: the polled devices plus the
-/// interrupt-driven variants (event-fault scenarios need a binding with an
-/// IRQ line). Mutation campaigns stay on the polled corpus, so the paper's
-/// Tables 3/4 are unchanged.
-std::vector<corpus::CampaignDrivers> fault_corpus() {
-  std::vector<corpus::CampaignDrivers> all = corpus::campaign_drivers();
-  const auto& irq = corpus::irq_campaign_drivers();
-  all.insert(all.end(), irq.begin(), irq.end());
-  return all;
-}
-
 void report(const char* label, const std::string& name,
-            const std::string& unit) {
+            const std::string& unit, minic::ExecEngine engine) {
   std::printf("%s\n", label);
   minic::Program prog = minic::compile(name, unit);
   if (!prog.ok()) {
@@ -80,8 +91,7 @@ void report(const char* label, const std::string& name,
   hw::IoBus bus;
   auto disk = std::make_shared<hw::IdeDisk>();
   bus.map(0x1f0, 8, disk);
-  auto out = minic::run_unit(*prog.unit, bus, "ide_boot", 3'000'000,
-                             g_engine);
+  auto out = minic::run_unit(*prog.unit, bus, "ide_boot", 3'000'000, engine);
   switch (out.fault) {
     case minic::FaultKind::kNone:
       std::printf("  -> NOT DETECTED: kernel boots (fingerprint %lld%s)\n\n",
@@ -108,48 +118,6 @@ std::string replace_once(std::string text, const std::string& from,
   return text;
 }
 
-/// The C and CDevil campaign configs for one corpus device. Shared by the
-/// single-process, shard and (by fingerprint) merge paths, so every mode
-/// runs the exact same campaign configuration.
-struct DeviceCampaignConfigs {
-  eval::DriverCampaignConfig c;
-  eval::DriverCampaignConfig cdevil;
-};
-
-bool make_device_configs(const corpus::CampaignDrivers& drivers,
-                         unsigned threads, DeviceCampaignConfigs* out) {
-  eval::DeviceBinding binding = eval::binding_for(drivers.device);
-
-  out->c = eval::DriverCampaignConfig{};
-  out->c.driver = drivers.c_driver();
-  out->c.device = binding;
-  out->c.sample_percent = drivers.sample_percent;
-  out->c.threads = threads;
-  out->c.engine = g_engine;
-  out->c.flight_recorder = g_flight_recorder;
-  out->c.bytecode_patch = g_bytecode_patch;
-  out->c.watchdog_ms = g_watchdog_ms;
-
-  auto spec = devil::compile_spec(drivers.spec_file, drivers.spec(),
-                                  devil::CodegenMode::kDebug);
-  if (!spec.ok()) {
-    std::fprintf(stderr, "%s", spec.diags.render().c_str());
-    return false;
-  }
-  out->cdevil = eval::DriverCampaignConfig{};
-  out->cdevil.stubs = spec.stubs;
-  out->cdevil.driver = drivers.cdevil_driver();
-  out->cdevil.device = binding;
-  out->cdevil.is_cdevil = true;
-  out->cdevil.sample_percent = drivers.sample_percent;
-  out->cdevil.threads = threads;
-  out->cdevil.engine = g_engine;
-  out->cdevil.flight_recorder = g_flight_recorder;
-  out->cdevil.bytecode_patch = g_bytecode_patch;
-  out->cdevil.watchdog_ms = g_watchdog_ms;
-  return true;
-}
-
 /// Stamps the process section and writes the metrics artifact; maps write
 /// failures to exit code 2 (like shard artifacts — same atomic write path).
 int write_metrics_artifact(const std::string& path,
@@ -166,82 +134,31 @@ int write_metrics_artifact(const std::string& path,
   return 0;
 }
 
-/// The C and CDevil fault-campaign configs for one corpus device: the same
-/// shared campaign configs wrapped with the default fault knobs (full
-/// scenario matrix, default trigger offsets), so the fingerprint pins one
-/// configuration across the single-process, shard and merge paths.
-struct DeviceFaultConfigs {
-  eval::FaultCampaignConfig c;
-  eval::FaultCampaignConfig cdevil;
-};
-
-bool make_fault_configs(const corpus::CampaignDrivers& drivers,
-                        unsigned threads, DeviceFaultConfigs* out) {
-  DeviceCampaignConfigs base;
-  if (!make_device_configs(drivers, threads, &base)) return false;
-  out->c = eval::FaultCampaignConfig{};
-  out->c.base = std::move(base.c);
-  out->cdevil = eval::FaultCampaignConfig{};
-  out->cdevil.base = std::move(base.cdevil);
-  return true;
-}
-
-/// One device's fault-injection report section; shared by the
-/// single-process run and `--merge`, so the two outputs are
-/// byte-comparable.
-void print_fault_section(const std::string& device,
-                         const eval::FaultCampaignResult& c_res,
-                         const eval::FaultCampaignResult& d_res) {
-  std::printf("=== %s (fault injection) ===\n\n", device.c_str());
-  std::printf("%s\n", eval::render_fault_tables(c_res, d_res).c_str());
-  std::printf("Scenario counters [%s]: C triggered %zu/%zu; "
-              "CDevil triggered %zu/%zu\n",
-              device.c_str(), c_res.triggered_scenarios,
-              c_res.sampled_scenarios, d_res.triggered_scenarios,
-              d_res.sampled_scenarios);
-  // Empty unless the campaign ran with --flight-recorder (traces ride in
-  // the records, so the merge path prints identical post-mortems).
-  std::string pm = eval::render_fault_postmortems("C", c_res, 3) +
-                   eval::render_fault_postmortems("CDevil", d_res, 3);
-  if (!pm.empty()) std::printf("\n%s", pm.c_str());
-}
-
-/// One device's report section. Both the single-process campaign run and
-/// `--merge` print through here, so the two outputs are byte-comparable.
-void print_device_section(const std::string& device,
-                          const eval::DriverCampaignResult& c_res,
-                          const eval::DriverCampaignResult& d_res) {
-  std::printf("=== %s ===\n\n", device.c_str());
-  std::printf("%s\n", eval::render_campaign_tables(c_res, d_res).c_str());
-  std::printf("Engine counters [%s]: C dedup %zu/%zu, prefix-cache %zu; "
-              "CDevil dedup %zu/%zu, prefix-cache %zu\n",
-              device.c_str(), c_res.deduped_mutants, c_res.sampled_mutants,
-              c_res.prefix_cache_hits, d_res.deduped_mutants,
-              d_res.sampled_mutants, d_res.prefix_cache_hits);
-  // Empty unless the campaign ran with --flight-recorder (traces ride in
-  // the records, so the merge path prints identical post-mortems).
-  std::string pm = eval::render_postmortems("C", c_res, 3) +
-                   eval::render_postmortems("CDevil", d_res, 3);
-  if (!pm.empty()) std::printf("\n%s", pm.c_str());
-}
-
-/// Runs one device's full C vs CDevil driver campaigns on `threads`
-/// workers and prints the paper's Tables 3/4 plus the headline comparison.
-/// With `assert_counters` (the CI Release smoke) the exit code additionally
+/// Runs one device's full C vs CDevil driver campaigns from the spec and
+/// prints the paper's Tables 3/4 plus the headline comparison. With
+/// `assert_counters` (the CI Release smoke) the exit code additionally
 /// verifies that the throughput machinery actually engaged: canonical
 /// dedup skipped at least one mutant and the compiled-prefix cache served
 /// every unique compile.
-bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
-                          unsigned threads, bool assert_counters,
+bool run_device_campaigns(const eval::CampaignSpec& spec,
+                          const corpus::CampaignDrivers& drivers,
+                          bool assert_counters,
                           eval::MetricsArtifact* metrics) {
-  DeviceCampaignConfigs cfgs;
-  if (!make_device_configs(drivers, threads, &cfgs)) return false;
+  eval::DeviceCampaignConfigs cfgs;
+  try {
+    cfgs = eval::driver_configs_for(spec, drivers);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s", e.what());
+    return false;
+  }
   auto c_res = eval::run_driver_campaign(cfgs.c);
   auto d_res = eval::run_driver_campaign(cfgs.cdevil);
 
-  print_device_section(drivers.device, c_res, d_res);
+  std::fputs(
+      eval::render_device_section(drivers.device, c_res, d_res).c_str(),
+      stdout);
   if (metrics) {
-    const char* engine = minic::exec_engine_name(g_engine);
+    const char* engine = minic::exec_engine_name(spec.engine);
     metrics->campaigns.push_back(
         eval::campaign_metrics_row(c_res, "C", engine));
     metrics->campaigns.push_back(
@@ -251,8 +168,8 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
   // The walker engine compiles whole units by design, so cache hits are
   // only expected on the bytecode VM — and the bytecode patcher only runs
   // on top of the cache.
-  const bool expect_cache = g_engine == minic::ExecEngine::kBytecodeVm;
-  const bool expect_patch = expect_cache && g_bytecode_patch;
+  const bool expect_cache = spec.engine == minic::ExecEngine::kBytecodeVm;
+  const bool expect_patch = expect_cache && spec.bytecode_patch;
   auto check = [expect_cache, expect_patch, &drivers](
                    const char* what, const eval::DriverCampaignResult& r) {
     if (r.deduped_mutants == 0) {
@@ -291,17 +208,25 @@ bool run_device_campaigns(const corpus::CampaignDrivers& drivers,
 /// fault tables. With `assert_counters` the exit code verifies the paper
 /// shape: the faults must actually fire, and the CDevil driver must detect
 /// strictly more injected hardware faults than its classic-C twin.
-bool run_device_fault_campaigns(const corpus::CampaignDrivers& drivers,
-                                unsigned threads, bool assert_counters,
+bool run_device_fault_campaigns(const eval::CampaignSpec& spec,
+                                const corpus::CampaignDrivers& drivers,
+                                bool assert_counters,
                                 eval::MetricsArtifact* metrics) {
-  DeviceFaultConfigs cfgs;
-  if (!make_fault_configs(drivers, threads, &cfgs)) return false;
+  eval::DeviceFaultConfigs cfgs;
+  try {
+    cfgs = eval::fault_configs_for(spec, drivers);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s", e.what());
+    return false;
+  }
   auto c_res = eval::run_fault_campaign(cfgs.c);
   auto d_res = eval::run_fault_campaign(cfgs.cdevil);
 
-  print_fault_section(drivers.device, c_res, d_res);
+  std::fputs(
+      eval::render_fault_section(drivers.device, c_res, d_res).c_str(),
+      stdout);
   if (metrics) {
-    const char* engine = minic::exec_engine_name(g_engine);
+    const char* engine = minic::exec_engine_name(spec.engine);
     metrics->fault_campaigns.push_back(
         eval::fault_metrics_row(c_res, "C", engine));
     metrics->fault_campaigns.push_back(
@@ -354,36 +279,17 @@ bool run_device_fault_campaigns(const corpus::CampaignDrivers& drivers,
   return ok;
 }
 
-void print_unknown_device(const std::string& device_filter) {
-  std::fprintf(stderr, "unknown --device '%s' (known: all",
-               device_filter.c_str());
-  for (const auto& drivers : fault_corpus()) {
-    std::fprintf(stderr, ", %s", drivers.device);
-  }
-  std::fprintf(stderr, ")\n");
-}
-
-bool known_device(const std::string& device_filter) {
-  if (device_filter == "all") return true;
-  for (const auto& drivers : fault_corpus()) {
-    if (device_filter == drivers.device) return true;
-  }
-  return false;
-}
-
-/// Runs the campaigns for every corpus device matching `device_filter`
-/// ("all" runs each of them — the CI smoke path).
-int run_campaigns(unsigned threads, bool assert_counters,
-                  const std::string& device_filter,
+/// Runs the campaigns for every corpus device the spec selects
+/// (`spec.device` "all" runs each of them — the CI smoke path).
+int run_campaigns(const eval::CampaignSpec& spec, bool assert_counters,
                   eval::MetricsArtifact* metrics) {
   std::printf("Running full mutation campaigns (%u thread(s), 0 = all "
               "cores, %s engine, device %s)...\n\n",
-              threads, minic::exec_engine_name(g_engine),
-              device_filter.c_str());
+              spec.threads, minic::exec_engine_name(spec.engine),
+              spec.device.c_str());
   bool ok = true;
-  for (const auto& drivers : corpus::campaign_drivers()) {
-    if (device_filter != "all" && device_filter != drivers.device) continue;
-    ok &= run_device_campaigns(drivers, threads, assert_counters, metrics);
+  for (const auto& drivers : eval::campaign_spec_corpus(spec)) {
+    ok &= run_device_campaigns(spec, drivers, assert_counters, metrics);
   }
   if (assert_counters) {
     std::printf("counter assertions: %s\n", ok ? "OK" : "FAILED");
@@ -393,18 +299,15 @@ int run_campaigns(unsigned threads, bool assert_counters,
 
 /// `--faults`: runs the fault-injection campaigns for every selected
 /// device.
-int run_fault_campaigns(unsigned threads, bool assert_counters,
-                        const std::string& device_filter,
+int run_fault_campaigns(const eval::CampaignSpec& spec, bool assert_counters,
                         eval::MetricsArtifact* metrics) {
   std::printf("Running fault-injection campaigns (%u thread(s), 0 = all "
               "cores, %s engine, device %s)...\n\n",
-              threads, minic::exec_engine_name(g_engine),
-              device_filter.c_str());
+              spec.threads, minic::exec_engine_name(spec.engine),
+              spec.device.c_str());
   bool ok = true;
-  for (const auto& drivers : fault_corpus()) {
-    if (device_filter != "all" && device_filter != drivers.device) continue;
-    ok &= run_device_fault_campaigns(drivers, threads, assert_counters,
-                                     metrics);
+  for (const auto& drivers : eval::campaign_spec_corpus(spec)) {
+    ok &= run_device_fault_campaigns(spec, drivers, assert_counters, metrics);
   }
   if (assert_counters) {
     std::printf("fault assertions: %s\n", ok ? "OK" : "FAILED");
@@ -412,22 +315,39 @@ int run_fault_campaigns(unsigned threads, bool assert_counters,
   return ok ? 0 : 1;
 }
 
+/// `--spec-campaign`: Table 2 — mutate the Devil specifications themselves
+/// and count what the Devil compiler rejects.
+int run_spec_campaigns(const eval::CampaignSpec& spec) {
+  std::printf("Running spec mutation campaigns (%u thread(s), 0 = all "
+              "cores)...\n\n",
+              spec.threads);
+  eval::SpecCampaignConfig config = eval::spec_campaign_config_for(spec);
+  std::vector<eval::SpecCampaignRow> rows;
+  for (const auto& entry : corpus::all_specs()) {
+    rows.push_back(eval::run_spec_campaign(entry, config));
+  }
+  std::fputs(eval::render_table2(rows).c_str(), stdout);
+  return 0;
+}
+
 /// `--shard i/N --out FILE`: runs slice i/N of every selected campaign and
-/// writes one mergeable bundle (fault campaigns with `--faults`, mutation
-/// campaigns otherwise). Progress goes to stderr; stdout stays quiet so
-/// shard invocations compose in scripts.
-int run_shard(eval::ShardSpec spec, const std::string& out_path,
-              unsigned threads, const std::string& device_filter,
-              bool faults, const std::string& metrics_path) {
+/// writes one mergeable bundle (fault campaigns when the spec says so,
+/// mutation campaigns otherwise). Progress goes to stderr; stdout stays
+/// quiet so shard invocations compose in scripts.
+int run_shard(const eval::CampaignSpec& campaign, eval::ShardSpec spec,
+              const std::string& out_path, const std::string& metrics_path) {
   eval::ShardBundle bundle;
   bundle.shard = spec;
-  const std::vector<corpus::CampaignDrivers> corpus_list =
-      faults ? fault_corpus() : corpus::campaign_drivers();
-  for (const auto& drivers : corpus_list) {
-    if (device_filter != "all" && device_filter != drivers.device) continue;
+  const bool faults = campaign.kind == eval::CampaignKind::kFault;
+  for (const auto& drivers : eval::campaign_spec_corpus(campaign)) {
     if (faults) {
-      DeviceFaultConfigs cfgs;
-      if (!make_fault_configs(drivers, threads, &cfgs)) return 1;
+      eval::DeviceFaultConfigs cfgs;
+      try {
+        cfgs = eval::fault_configs_for(campaign, drivers);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "%s", e.what());
+        return 1;
+      }
       bundle.fault_campaigns.push_back(
           eval::run_fault_campaign_shard(cfgs.c, "C", spec));
       bundle.fault_campaigns.push_back(
@@ -442,8 +362,13 @@ int run_shard(eval::ShardSpec spec, const std::string& out_path,
                    c.sample_size, d.records.size(), d.sample_size);
       continue;
     }
-    DeviceCampaignConfigs cfgs;
-    if (!make_device_configs(drivers, threads, &cfgs)) return 1;
+    eval::DeviceCampaignConfigs cfgs;
+    try {
+      cfgs = eval::driver_configs_for(campaign, drivers);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "%s", e.what());
+      return 1;
+    }
     bundle.campaigns.push_back(
         eval::run_campaign_shard(cfgs.c, "C", spec));
     bundle.campaigns.push_back(
@@ -461,7 +386,7 @@ int run_shard(eval::ShardSpec spec, const std::string& out_path,
     // them across the shard fleet) ...
     bundle.has_metrics = true;
     bundle.metrics = eval::capture_process_metrics(
-        threads, support::monotonic_ns() - g_start_ns);
+        campaign.threads, support::monotonic_ns() - g_start_ns);
   }
   eval::save_shard_bundle(out_path, bundle);
   std::fprintf(stderr, "wrote shard %s artifact to %s\n",
@@ -490,7 +415,9 @@ int run_shard(eval::ShardSpec spec, const std::string& out_path,
 }
 
 /// `--merge FILE...`: loads one bundle per shard, recombines them and
-/// prints the same per-device sections as the single-process campaign run.
+/// prints the same per-device sections as the single-process campaign run
+/// (eval/merge.h render_merged_report — the shared renderer guarantees
+/// byte identity).
 int run_merge(const std::vector<std::string>& paths,
               const std::string& metrics_path) {
   std::vector<eval::ShardBundle> bundles;
@@ -499,51 +426,9 @@ int run_merge(const std::vector<std::string>& paths,
     bundles.push_back(eval::load_shard_bundle(path));
   }
   auto merged = eval::merge_shard_bundles(bundles);
-  // Standard bundles carry a C campaign followed by a CDevil campaign per
-  // device; print those as the paper's paired tables. Anything else (a
-  // hand-built bundle) still renders, one table per campaign.
-  size_t i = 0;
-  while (i < merged.size()) {
-    if (i + 1 < merged.size() && merged[i].device == merged[i + 1].device &&
-        merged[i].label == "C" && merged[i + 1].label == "CDevil") {
-      print_device_section(merged[i].device, merged[i].result,
-                           merged[i + 1].result);
-      i += 2;
-      continue;
-    }
-    std::printf("=== %s ===\n\n", merged[i].device.c_str());
-    std::printf("%s\n",
-                eval::render_driver_table("Campaign " + merged[i].label +
-                                              " (" + merged[i].device + ")",
-                                          merged[i].result)
-                    .c_str());
-    ++i;
-  }
-  // Fault campaigns merge and print the same way, after the mutation
-  // sections (a `--faults` shard bundle carries only fault campaigns, so
-  // the loop above printed nothing for it).
   auto fault_merged = eval::merge_fault_bundles(bundles);
-  i = 0;
-  while (i < fault_merged.size()) {
-    if (i + 1 < fault_merged.size() &&
-        fault_merged[i].device == fault_merged[i + 1].device &&
-        fault_merged[i].label == "C" &&
-        fault_merged[i + 1].label == "CDevil") {
-      print_fault_section(fault_merged[i].device, fault_merged[i].result,
-                          fault_merged[i + 1].result);
-      i += 2;
-      continue;
-    }
-    std::printf("=== %s (fault injection) ===\n\n",
-                fault_merged[i].device.c_str());
-    std::printf("%s\n",
-                eval::render_fault_table("Fault campaign " +
-                                             fault_merged[i].label + " (" +
-                                             fault_merged[i].device + ")",
-                                         fault_merged[i].result)
-                    .c_str());
-    ++i;
-  }
+  std::fputs(eval::render_merged_report(merged, fault_merged).c_str(),
+             stdout);
   if (!metrics_path.empty()) {
     // Deterministic rows come from the merged results — byte-identical to
     // the single-process run's rows (the merge guarantee extends to steps
@@ -571,6 +456,101 @@ int run_merge(const std::vector<std::string>& paths,
   return 0;
 }
 
+/// `--serve ENDPOINT`: runs the campaign daemon until SIGINT/SIGTERM. The
+/// signals are blocked before the service threads start (they inherit the
+/// mask), so shutdown is always the orderly sigwait -> stop() path.
+int run_serve(const std::string& target, const char* argv0, unsigned workers,
+              std::string scratch_dir, const std::string& metrics_path) {
+  serve::ServiceConfig config;
+  config.listen_target = target;
+  config.dispatch.worker_binary = support::self_executable_path();
+  if (config.dispatch.worker_binary.empty()) {
+    config.dispatch.worker_binary = argv0;
+  }
+  if (workers != 0) config.dispatch.workers = workers;
+  if (scratch_dir.empty()) {
+    char tmpl[] = "/tmp/devil-serve-XXXXXX";
+    if (!mkdtemp(tmpl)) {
+      std::fprintf(stderr, "mutation_hunt: cannot create scratch directory "
+                   "under /tmp: %s\n", std::strerror(errno));
+      return 1;
+    }
+    scratch_dir = tmpl;
+  }
+  config.dispatch.scratch_dir = scratch_dir;
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::CampaignService service(config);
+  try {
+    service.start();
+  } catch (const serve::WireError& e) {
+    std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving campaigns on %s (%u worker(s), scratch %s)\n",
+               service.endpoint().c_str(), config.dispatch.workers,
+               scratch_dir.c_str());
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::fprintf(stderr, "caught signal %d, shutting down\n", sig);
+  service.stop();
+  if (!metrics_path.empty()) {
+    // The daemon's own telemetry: the service counters (jobs, cache hits,
+    // worker fan-out) ride the standard process-metrics artifact.
+    return write_metrics_artifact(metrics_path, eval::MetricsArtifact{},
+                                  config.dispatch.workers);
+  }
+  return 0;
+}
+
+/// `--dispatch ENDPOINT`: submits the spec to a `--serve` daemon, prints
+/// the served report on stdout and one telemetry line on stderr.
+int run_dispatch(const std::string& target, const eval::CampaignSpec& spec,
+                 unsigned workers, bool use_cache, unsigned kill_shard) {
+  serve::CampaignRequest request;
+  request.spec = spec;
+  request.workers = workers;
+  request.use_cache = use_cache;
+  request.kill_shard = kill_shard;
+
+  serve::CampaignResponse response;
+  try {
+    int fd = serve::connect_endpoint(target);
+    serve::write_frame(fd, serve::serialize_campaign_request(request));
+    std::string payload;
+    bool got = serve::read_frame(fd, 256u << 20, &payload);
+    ::close(fd);
+    if (!got) {
+      std::fprintf(stderr, "mutation_hunt: %s closed the connection without "
+                   "a response\n", target.c_str());
+      return 1;
+    }
+    response = serve::parse_campaign_response(payload);
+  } catch (const serve::WireError& e) {
+    std::fprintf(stderr, "mutation_hunt: %s\n", e.what());
+    return 1;
+  }
+  if (!response.ok) {
+    std::fprintf(stderr, "mutation_hunt: dispatch failed: %s\n",
+                 response.error.c_str());
+    return 1;
+  }
+  std::fputs(response.report.c_str(), stdout);
+  std::fprintf(stderr,
+               "dispatch: fingerprint=%s cache_hit=%d workers_spawned=%llu "
+               "worker_retries=%llu\n",
+               response.fingerprint.c_str(), response.cache_hit ? 1 : 0,
+               static_cast<unsigned long long>(response.workers_spawned),
+               static_cast<unsigned long long>(response.worker_retries));
+  return 0;
+}
+
 int usage(std::FILE* to) {
   std::fprintf(
       to,
@@ -582,43 +562,62 @@ int usage(std::FILE* to) {
       "  --faults             run the fault-injection campaigns instead:\n"
       "                       clean drivers against the deterministic\n"
       "                       hardware-fault scenario matrix\n"
+      "  --spec-campaign      run the Table 2 spec-mutation campaign:\n"
+      "                       mutate the Devil specs, count compiler\n"
+      "                       rejections\n"
       "  --shard I/N --out F  run slice I of N of every selected campaign\n"
       "                       and write a mergeable shard artifact to F\n"
       "                       (fault campaigns when --faults is given)\n"
       "  --merge FILE...      merge one artifact per shard and print the\n"
       "                       single-process campaign report\n"
+      "  --serve ENDPOINT     run the campaign daemon: accept campaign\n"
+      "                       requests on ENDPOINT (a port binds\n"
+      "                       127.0.0.1, \"0\" picks an ephemeral port;\n"
+      "                       anything else is a unix socket path), fan\n"
+      "                       each job out to shard workers, cache results\n"
+      "                       by config fingerprint\n"
+      "  --dispatch ENDPOINT  submit the campaign described by the flags\n"
+      "                       to a --serve daemon and print the served\n"
+      "                       report (byte-identical to the local run)\n"
       "\n"
-      "Options:\n"
-      "  --device NAME        campaign device (default: all)\n"
+      "Campaign flags (shared by local runs, shards and --dispatch):\n");
+  for (const eval::CampaignFlag& flag : eval::campaign_spec_flags()) {
+    std::string head = flag.flag;
+    if (flag.value_name) head += std::string(" ") + flag.value_name;
+    std::fprintf(to, "  %-20s %s\n", head.c_str(), flag.help);
+  }
+  std::fprintf(
+      to,
+      "\n"
+      "Other options:\n"
       "  --list-devices       print the campaign device names, one per\n"
       "                       line; after --faults, lists the fault-campaign\n"
       "                       corpus (adds the interrupt-driven devices)\n"
-      "  --walker             use the tree-walker oracle engine\n"
       "  --metrics FILE       write a campaign metrics artifact to FILE:\n"
       "                       deterministic counters (steps, opcode\n"
       "                       profiles, tallies — byte-identical at any\n"
       "                       thread count and across shard merges) plus\n"
       "                       process timings; composes with --faults,\n"
-      "                       --shard (also embeds timings in the bundle)\n"
-      "                       and --merge (aggregates embedded timings)\n"
-      "  --watchdog-ms N      wall-clock cap per boot in milliseconds; a\n"
-      "                       boot past the cap classifies as a hang and\n"
-      "                       counts a watchdog trip in the metrics timings\n"
-      "                       (default 10000; 0 disables the watchdog)\n"
+      "                       --shard (also embeds timings in the bundle),\n"
+      "                       --merge (aggregates embedded timings) and\n"
+      "                       --serve (service counters on shutdown)\n"
       "  --progress           throttled records/s + ETA heartbeat on stderr\n"
-      "  --flight-recorder    record each boot's last port accesses and\n"
-      "                       attach the post-mortem tail to every\n"
-      "                       non-clean record\n"
-      "  --no-bytecode-patch  recompile every mutant instead of booting\n"
-      "                       token-local mutants from a patched copy of\n"
-      "                       the clean tail bytecode; outcomes are\n"
-      "                       byte-identical either way (only the patch\n"
-      "                       telemetry counters move)\n"
+      "                       (per-job heartbeats under --serve)\n"
       "  --assert-counters    fail unless dedup + prefix cache engaged\n"
       "                       (and, unless --no-bytecode-patch/--walker,\n"
       "                       bytecode patching both hit and fell back)\n"
       "                       (with --faults: fail unless faults fired and\n"
       "                       CDevil detected strictly more than C)\n"
+      "  --workers N          --serve/--dispatch: shard workers per job\n"
+      "                       (daemon default 3; 0 = daemon default)\n"
+      "  --scratch DIR        --serve: artifact/log directory (default: a\n"
+      "                       fresh directory under /tmp)\n"
+      "  --no-cache           --dispatch: bypass the daemon's result cache\n"
+      "                       for this request (the fresh result still\n"
+      "                       populates it)\n"
+      "  --kill-shard K       --dispatch: kill shard K's first worker\n"
+      "                       attempt to exercise the retry path (the\n"
+      "                       report must come back byte-identical)\n"
       "  --help               this message\n");
   return to == stdout ? 0 : 2;
 }
@@ -632,21 +631,28 @@ int usage(std::FILE* to) {
 
 int main(int argc, char** argv) {
   g_start_ns = support::monotonic_ns();
-  unsigned threads = 1;
-  bool threads_given = false;
-  std::string device = "all";
-  bool device_given = false;
+  eval::CampaignSpec spec;
+  bool campaign_flag_given = false;  // any flag that switches to campaigns
   bool assert_counters = false;
   std::string shard_spec_text;
   std::string out_path;
   std::string metrics_path;
   std::vector<std::string> merge_paths;
   bool merge_given = false;
-  bool faults = false;
+  std::string serve_target;
+  std::string dispatch_target;
+  unsigned workers = 0;
+  bool workers_given = false;
+  std::string scratch_dir;
+  bool no_cache = false;
+  unsigned kill_shard = 0;
+  bool kill_shard_given = false;
 
   // Strict flag parsing: an unrecognised flag is a hard error with a usage
   // message, never silently ignored — a typoed `--theads 8` must not
-  // quietly run the default scenario and exit 0.
+  // quietly run the default scenario and exit 0. Campaign flags resolve
+  // through the shared table (eval/campaign_spec.h), so the CLI and the
+  // service workers parse identically by construction.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -654,43 +660,24 @@ int main(int argc, char** argv) {
       (void)flag;
       return argv[++i];
     };
-    if (arg == "--walker") {
-      g_engine = minic::ExecEngine::kTreeWalker;
+    if (const eval::CampaignFlag* flag = eval::find_campaign_flag(arg)) {
+      std::string flag_value;
+      if (flag->value_name) {
+        const char* v = value(arg.c_str());
+        if (!v) return flag_error(arg + " needs a value");
+        flag_value = v;
+      }
+      std::string error = eval::apply_campaign_flag(spec, *flag, flag_value);
+      if (!error.empty()) return flag_error(error);
+      if (flag->implies_campaign) campaign_flag_given = true;
     } else if (arg == "--progress") {
       support::ProgressMeter::set_enabled(true);
-    } else if (arg == "--flight-recorder") {
-      g_flight_recorder = true;
-    } else if (arg == "--no-bytecode-patch") {
-      g_bytecode_patch = false;
     } else if (arg == "--metrics") {
       const char* v = value("--metrics");
       if (!v) return flag_error("--metrics needs a file path");
       metrics_path = v;
-    } else if (arg == "--faults") {
-      faults = true;
     } else if (arg == "--assert-counters") {
       assert_counters = true;
-    } else if (arg == "--threads") {
-      const char* v = value("--threads");
-      if (!v) return flag_error("--threads needs a value");
-      // Digits only: strtoul would silently wrap a leading '-' and clamp
-      // out-of-range values, defeating the strict parser. A worker count
-      // never needs more than 4 digits.
-      const std::string text = v;
-      const bool digits =
-          !text.empty() && text.size() <= 4 &&
-          text.find_first_not_of("0123456789") == std::string::npos;
-      if (!digits) {
-        return flag_error("--threads: '" + text +
-                          "' is not a thread count (0-9999; 0 = all cores)");
-      }
-      threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-      threads_given = true;
-    } else if (arg == "--device") {
-      const char* v = value("--device");
-      if (!v) return flag_error("--device needs a value");
-      device = v;
-      device_given = true;
     } else if (arg == "--shard") {
       const char* v = value("--shard");
       if (!v) return flag_error("--shard needs a value (e.g. 1/3)");
@@ -714,27 +701,57 @@ int main(int argc, char** argv) {
         }
         merge_paths.push_back(path);
       }
-    } else if (arg == "--watchdog-ms") {
-      const char* v = value("--watchdog-ms");
-      if (!v) return flag_error("--watchdog-ms needs a value (0 = off)");
+    } else if (arg == "--serve") {
+      const char* v = value("--serve");
+      if (!v) return flag_error("--serve needs an endpoint (a port or a "
+                                "unix socket path)");
+      serve_target = v;
+    } else if (arg == "--dispatch") {
+      const char* v = value("--dispatch");
+      if (!v) return flag_error("--dispatch needs an endpoint (a port, "
+                                "host:port or a unix socket path)");
+      dispatch_target = v;
+    } else if (arg == "--workers") {
+      const char* v = value("--workers");
+      if (!v) return flag_error("--workers needs a value");
       const std::string text = v;
       const bool digits =
-          !text.empty() && text.size() <= 8 &&
+          !text.empty() && text.size() <= 3 &&
           text.find_first_not_of("0123456789") == std::string::npos;
       if (!digits) {
-        return flag_error("--watchdog-ms: '" + text +
-                          "' is not a millisecond count (0-99999999; "
-                          "0 disables the watchdog)");
+        return flag_error("--workers: '" + text +
+                          "' is not a worker count (0-999; 0 = daemon "
+                          "default)");
       }
-      g_watchdog_ms = std::strtoul(v, nullptr, 10);
+      workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      workers_given = true;
+    } else if (arg == "--scratch") {
+      const char* v = value("--scratch");
+      if (!v) return flag_error("--scratch needs a directory path");
+      scratch_dir = v;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--kill-shard") {
+      const char* v = value("--kill-shard");
+      if (!v) return flag_error("--kill-shard needs a 1-based shard index");
+      const std::string text = v;
+      const bool digits =
+          !text.empty() && text.size() <= 3 &&
+          text.find_first_not_of("0123456789") == std::string::npos;
+      if (!digits || text == "0") {
+        return flag_error("--kill-shard: '" + text +
+                          "' is not a 1-based shard index (1-999)");
+      }
+      kill_shard = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      kill_shard_given = true;
     } else if (arg == "--list-devices") {
       // One name per line, so CI scripts can iterate the corpus registry
       // instead of hardcoding the device list. Mode-aware: after --faults
       // the listing is the fault-campaign corpus, which appends the
       // interrupt-driven devices to the polled mutation corpus.
-      const std::vector<corpus::CampaignDrivers> listed =
-          faults ? fault_corpus() : corpus::campaign_drivers();
-      for (const auto& drivers : listed) {
+      eval::CampaignSpec listing = spec;
+      listing.device = "all";
+      for (const auto& drivers : eval::campaign_spec_corpus(listing)) {
         std::printf("%s\n", drivers.device);
       }
       return 0;
@@ -750,9 +767,10 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) support::Metrics::set_enabled(true);
 
   if (merge_given) {
-    if (threads_given || device_given || assert_counters || faults ||
+    if (campaign_flag_given || assert_counters ||
         !shard_spec_text.empty() || !out_path.empty() ||
-        g_engine != minic::ExecEngine::kBytecodeVm) {
+        !serve_target.empty() || !dispatch_target.empty() ||
+        spec.engine != minic::ExecEngine::kBytecodeVm) {
       return flag_error("--merge takes only artifact files and --metrics "
                         "(the merged report is determined by the artifacts "
                         "themselves)");
@@ -768,13 +786,77 @@ int main(int argc, char** argv) {
     }
   }
 
+  if ((no_cache || kill_shard_given) && dispatch_target.empty()) {
+    return flag_error(std::string(no_cache ? "--no-cache" : "--kill-shard") +
+                      " only makes sense with --dispatch (it is a request "
+                      "knob for the campaign daemon)");
+  }
+  if (workers_given && serve_target.empty() && dispatch_target.empty()) {
+    return flag_error("--workers only makes sense with --serve or "
+                      "--dispatch (local campaigns take --threads)");
+  }
+  if (!scratch_dir.empty() && serve_target.empty()) {
+    return flag_error("--scratch only makes sense with --serve");
+  }
+
+  if (!serve_target.empty()) {
+    if (!dispatch_target.empty()) {
+      return flag_error("--serve and --dispatch are different roles; pick "
+                        "one");
+    }
+    if (campaign_flag_given || assert_counters ||
+        !shard_spec_text.empty() || !out_path.empty() ||
+        spec != eval::CampaignSpec{}) {
+      return flag_error("--serve runs a daemon: campaign flags belong on "
+                        "the --dispatch requests, not on the server");
+    }
+    return run_serve(serve_target, argv[0], workers, scratch_dir,
+                     metrics_path);
+  }
+
+  if (!dispatch_target.empty()) {
+    if (!shard_spec_text.empty() || !out_path.empty()) {
+      return flag_error("--dispatch sends a whole campaign to the daemon; "
+                        "sharding is the daemon's job (--shard/--out do "
+                        "not compose)");
+    }
+    if (assert_counters) {
+      return flag_error("--assert-counters applies to local campaign runs "
+                        "(the daemon's report carries no counter verdict)");
+    }
+    if (!metrics_path.empty()) {
+      return flag_error("--metrics does not compose with --dispatch (the "
+                        "daemon runs the campaign; point --metrics at a "
+                        "local run or the daemon itself)");
+    }
+    std::vector<std::string> diags = eval::validate_campaign_spec(spec);
+    if (!diags.empty()) {
+      for (const std::string& d : diags) {
+        std::fprintf(stderr, "mutation_hunt: %s\n", d.c_str());
+      }
+      return 2;
+    }
+    return run_dispatch(dispatch_target, spec, workers, !no_cache,
+                        kill_shard);
+  }
+
   if (!out_path.empty() && shard_spec_text.empty()) {
     return flag_error("--out only makes sense with --shard I/N");
   }
-  // A typoed device name exits 2 before any campaigning starts.
-  if (!known_device(device)) {
-    print_unknown_device(device);
-    return 2;
+
+  const bool campaign_mode =
+      campaign_flag_given || assert_counters || !metrics_path.empty();
+
+  // A typoed device name (or a spec the selected kind cannot run) exits 2
+  // before any campaigning starts.
+  if (campaign_mode || !shard_spec_text.empty()) {
+    std::vector<std::string> diags = eval::validate_campaign_spec(spec);
+    if (!diags.empty()) {
+      for (const std::string& d : diags) {
+        std::fprintf(stderr, "mutation_hunt: %s\n", d.c_str());
+      }
+      return 2;
+    }
   }
 
   if (!shard_spec_text.empty()) {
@@ -786,14 +868,18 @@ int main(int argc, char** argv) {
                         "not shards (counters are shard-local; merge the "
                         "artifacts instead)");
     }
-    eval::ShardSpec spec;
+    if (spec.kind == eval::CampaignKind::kSpec) {
+      return flag_error("--spec-campaign has no shard slices; run it whole "
+                        "or --dispatch it");
+    }
+    eval::ShardSpec shard;
     try {
-      spec = eval::parse_shard_spec(shard_spec_text);
+      shard = eval::parse_shard_spec(shard_spec_text);
     } catch (const std::invalid_argument& e) {
       return flag_error(e.what());
     }
     try {
-      return run_shard(spec, out_path, threads, device, faults, metrics_path);
+      return run_shard(spec, shard, out_path, metrics_path);
     } catch (const eval::ArtifactWriteError& e) {
       // The artifact could not be written (unwritable path, full disk):
       // exit 2 like the other preflight failures, never a partial file.
@@ -805,23 +891,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  // `--metrics` implies campaign mode, like `--device`: the telemetry
-  // subsystem instruments the campaign kernels, not the typo scenario.
-  const bool campaign_mode = threads_given || device_given ||
-                             assert_counters || !metrics_path.empty();
-  if (faults || campaign_mode) {
+  if (campaign_mode) {
+    if (spec.kind == eval::CampaignKind::kSpec) {
+      if (assert_counters) {
+        return flag_error("--assert-counters applies to driver and fault "
+                          "campaigns, not --spec-campaign");
+      }
+      int rc = run_spec_campaigns(spec);
+      if (!metrics_path.empty()) {
+        int metrics_rc = write_metrics_artifact(
+            metrics_path, eval::MetricsArtifact{}, spec.threads);
+        if (metrics_rc != 0) return metrics_rc;
+      }
+      return rc;
+    }
     eval::MetricsArtifact artifact;
     eval::MetricsArtifact* metrics =
         metrics_path.empty() ? nullptr : &artifact;
-    const unsigned campaign_threads = threads_given ? threads : 1;
-    int rc = faults ? run_fault_campaigns(campaign_threads, assert_counters,
-                                          device, metrics)
-                    : run_campaigns(campaign_threads, assert_counters, device,
-                                    metrics);
+    int rc = spec.kind == eval::CampaignKind::kFault
+                 ? run_fault_campaigns(spec, assert_counters, metrics)
+                 : run_campaigns(spec, assert_counters, metrics);
     if (metrics) {
       int metrics_rc = write_metrics_artifact(metrics_path,
                                               std::move(artifact),
-                                              campaign_threads);
+                                              spec.threads);
       if (metrics_rc != 0) return metrics_rc;
     }
     return rc;
@@ -835,7 +928,7 @@ int main(int argc, char** argv) {
       corpus::c_ide_driver(), "outb(ATA_LBA, IDE_SELECT);",
       "outb(WIN_IDENTIFY, IDE_SELECT);");
   report("[1] C driver, `outb(WIN_IDENTIFY, IDE_SELECT)`:", "ide_c.c",
-         c_driver);
+         c_driver, spec.engine);
 
   // --- Devil driver, debug stubs: set_Drive(WIN_IDENTIFY) ----------------
   auto debug = devil::compile_spec("ide.dil", corpus::ide_spec(),
@@ -844,20 +937,20 @@ int main(int argc, char** argv) {
                                       "set_Drive(MASTER)",
                                       "set_Drive(WIN_IDENTIFY)");
   report("[2] Devil driver (debug stubs), `set_Drive(WIN_IDENTIFY)`:",
-         "ide.dil", debug.stubs + "\n" + d_driver);
+         "ide.dil", debug.stubs + "\n" + d_driver, spec.engine);
 
   // --- Devil driver, production stubs: same typo -------------------------
   auto prod = devil::compile_spec("ide.dil", corpus::ide_spec(),
                                   devil::CodegenMode::kProduction);
   report("[3] Devil driver (production stubs), same typo:", "ide.dil",
-         prod.stubs + "\n" + d_driver);
+         prod.stubs + "\n" + d_driver, spec.engine);
 
   // --- a same-type confusion that types cannot catch ---------------------
   std::string swap = replace_once(corpus::cdevil_ide_driver(),
                                   "dil_eq(get_Busy(), BUSY)",
                                   "dil_eq(get_Seek(), BUSY)");
   report("[4] Devil driver (debug), wrong getter inside dil_eq:", "ide.dil",
-         debug.stubs + "\n" + swap);
+         debug.stubs + "\n" + swap, spec.engine);
 
   std::printf("Summary: Devil turns silent C-level typos into compile-time\n"
               "type errors (debug stubs) or precise run-time assertions; the\n"

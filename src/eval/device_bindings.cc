@@ -71,11 +71,4 @@ DeviceBinding binding_for(const std::string& device) {
                          "' (known: " + known + ")");
 }
 
-DriverCampaignResult run_ide_campaign(const DriverCampaignConfig& config) {
-  if (config.device.ok()) return run_driver_campaign(config);
-  DriverCampaignConfig bound = config;
-  bound.device = ide_binding();
-  return run_driver_campaign(bound);
-}
-
 }  // namespace eval

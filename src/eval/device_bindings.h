@@ -1,7 +1,6 @@
-// Standard device bindings for the driver campaigns, plus the historical
-// IDE-named compat wrapper. This is the only file under src/eval/ that
-// names concrete device models or their port windows; the campaign kernel
-// itself (driver_campaign.{h,cc}) is device-agnostic.
+// Standard device bindings for the driver campaigns. This is the only file
+// under src/eval/ that names concrete device models or their port windows;
+// the campaign kernel itself (driver_campaign.{h,cc}) is device-agnostic.
 #pragma once
 
 #include <string>
@@ -34,12 +33,5 @@ namespace eval {
 /// Looks up a standard binding by device name ("ide", "busmouse").
 /// Throws std::logic_error listing the known names otherwise.
 [[nodiscard]] DeviceBinding binding_for(const std::string& device);
-
-/// Compat wrapper for the original IDE-only entry point: fills in
-/// `ide_binding()` when the config has no device binding, then runs the
-/// generic campaign. Configs that already carry a binding pass through
-/// unchanged, so legacy call sites work for any device.
-[[nodiscard]] DriverCampaignResult run_ide_campaign(
-    const DriverCampaignConfig& config);
 
 }  // namespace eval

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "eval/report.h"
+
 namespace eval {
 
 namespace {
@@ -415,6 +417,54 @@ bool merge_bundle_metrics(const std::vector<ShardBundle>& bundles,
   }
   if (any && out) *out = merged;
   return any;
+}
+
+std::string render_merged_report(
+    const std::vector<MergedCampaign>& merged,
+    const std::vector<MergedFaultCampaign>& fault_merged) {
+  std::string out;
+  // Standard bundles carry a C campaign followed by a CDevil campaign per
+  // device; print those as the paper's paired tables. Anything else (a
+  // hand-built bundle) still renders, one table per campaign.
+  size_t i = 0;
+  while (i < merged.size()) {
+    if (i + 1 < merged.size() && merged[i].device == merged[i + 1].device &&
+        merged[i].label == "C" && merged[i + 1].label == "CDevil") {
+      out += render_device_section(merged[i].device, merged[i].result,
+                                   merged[i + 1].result);
+      i += 2;
+      continue;
+    }
+    out += "=== " + merged[i].device + " ===\n\n";
+    out += render_driver_table("Campaign " + merged[i].label + " (" +
+                                   merged[i].device + ")",
+                               merged[i].result);
+    out += "\n";
+    ++i;
+  }
+  // Fault campaigns render the same way, after the mutation sections (a
+  // `--faults` bundle carries only fault campaigns, so the loop above
+  // printed nothing for it).
+  i = 0;
+  while (i < fault_merged.size()) {
+    if (i + 1 < fault_merged.size() &&
+        fault_merged[i].device == fault_merged[i + 1].device &&
+        fault_merged[i].label == "C" &&
+        fault_merged[i + 1].label == "CDevil") {
+      out += render_fault_section(fault_merged[i].device,
+                                  fault_merged[i].result,
+                                  fault_merged[i + 1].result);
+      i += 2;
+      continue;
+    }
+    out += "=== " + fault_merged[i].device + " (fault injection) ===\n\n";
+    out += render_fault_table("Fault campaign " + fault_merged[i].label +
+                                  " (" + fault_merged[i].device + ")",
+                              fault_merged[i].result);
+    out += "\n";
+    ++i;
+  }
+  return out;
 }
 
 }  // namespace eval

@@ -80,4 +80,14 @@ struct MergedFaultCampaign {
 bool merge_bundle_metrics(const std::vector<ShardBundle>& bundles,
                           ProcessMetrics* out);
 
+/// Renders merged campaigns as the single-process report body: adjacent
+/// C/CDevil campaigns of one device print as the paper's paired section
+/// (eval/report.h render_device_section / render_fault_section); anything
+/// else (a hand-built bundle) falls back to one table per campaign. This is
+/// the byte string `--merge` prints and the campaign service streams back —
+/// identical to the single-process run's output minus its two header lines.
+[[nodiscard]] std::string render_merged_report(
+    const std::vector<MergedCampaign>& merged,
+    const std::vector<MergedFaultCampaign>& fault_merged);
+
 }  // namespace eval

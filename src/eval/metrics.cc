@@ -276,6 +276,11 @@ ProcessMetrics capture_process_metrics(uint64_t threads, uint64_t wall_ns) {
   pm.pool_recycled = snap.pool_recycled;
   pm.watchdog_trips = snap.watchdog_trips;
   pm.worker_records = snap.worker_records;
+  pm.service_jobs_queued = snap.service_jobs_queued;
+  pm.service_jobs_dispatched = snap.service_jobs_dispatched;
+  pm.service_cache_hits = snap.service_cache_hits;
+  pm.service_workers_spawned = snap.service_workers_spawned;
+  pm.service_worker_retries = snap.service_worker_retries;
   return pm;
 }
 
@@ -295,6 +300,21 @@ support::JsonValue process_metrics_to_json(const ProcessMetrics& pm) {
   t.set("pool_recycled", pm.pool_recycled);
   t.set("watchdog_trips", pm.watchdog_trips);
   t.set("worker_records", histogram_to_json(pm.worker_records));
+  // The campaign-service counters ride in an optional sub-object emitted
+  // only when a daemon actually recorded something: non-daemon artifacts
+  // keep the exact pre-service bytes (the CI determinism `cmp`s and the
+  // round-trip goldens are format-version free).
+  if (pm.service_jobs_queued != 0 || pm.service_jobs_dispatched != 0 ||
+      pm.service_cache_hits != 0 || pm.service_workers_spawned != 0 ||
+      pm.service_worker_retries != 0) {
+    support::JsonValue svc = support::JsonValue::object();
+    svc.set("jobs_queued", pm.service_jobs_queued);
+    svc.set("jobs_dispatched", pm.service_jobs_dispatched);
+    svc.set("cache_hits", pm.service_cache_hits);
+    svc.set("workers_spawned", pm.service_workers_spawned);
+    svc.set("worker_retries", pm.service_worker_retries);
+    t.set("service", std::move(svc));
+  }
   return t;
 }
 
@@ -324,6 +344,16 @@ ProcessMetrics process_metrics_from_json(const support::JsonValue& v,
   pm.watchdog_trips = require_u64(v, "watchdog_trips", ctx);
   pm.worker_records = histogram_from_json(require(v, "worker_records", ctx),
                                           ctx + " worker_records");
+  // Optional service section (absent in pre-service artifacts and whenever
+  // every counter is zero).
+  if (const support::JsonValue* svc = v.find("service")) {
+    const std::string sctx = ctx + " service";
+    pm.service_jobs_queued = require_u64(*svc, "jobs_queued", sctx);
+    pm.service_jobs_dispatched = require_u64(*svc, "jobs_dispatched", sctx);
+    pm.service_cache_hits = require_u64(*svc, "cache_hits", sctx);
+    pm.service_workers_spawned = require_u64(*svc, "workers_spawned", sctx);
+    pm.service_worker_retries = require_u64(*svc, "worker_retries", sctx);
+  }
   return pm;
 }
 
@@ -337,6 +367,11 @@ void merge_process_metrics(ProcessMetrics& into, const ProcessMetrics& from) {
   into.pool_recycled += from.pool_recycled;
   into.watchdog_trips += from.watchdog_trips;
   into.worker_records.merge(from.worker_records);
+  into.service_jobs_queued += from.service_jobs_queued;
+  into.service_jobs_dispatched += from.service_jobs_dispatched;
+  into.service_cache_hits += from.service_cache_hits;
+  into.service_workers_spawned += from.service_workers_spawned;
+  into.service_worker_retries += from.service_worker_retries;
 }
 
 std::string serialize_metrics(const MetricsArtifact& artifact) {

@@ -323,4 +323,40 @@ std::string render_fault_tables(const FaultCampaignResult& c_result,
   return os.str();
 }
 
+std::string render_device_section(const std::string& device,
+                                  const DriverCampaignResult& c_result,
+                                  const DriverCampaignResult& d_result) {
+  std::ostringstream os;
+  os << "=== " << device << " ===\n\n"
+     << render_campaign_tables(c_result, d_result) << "\n"
+     << "Engine counters [" << device << "]: C dedup "
+     << c_result.deduped_mutants << "/" << c_result.sampled_mutants
+     << ", prefix-cache " << c_result.prefix_cache_hits << "; CDevil dedup "
+     << d_result.deduped_mutants << "/" << d_result.sampled_mutants
+     << ", prefix-cache " << d_result.prefix_cache_hits << "\n";
+  // Empty unless the campaign ran with the flight recorder (traces ride in
+  // the records, so merged and dispatched reports print identical
+  // post-mortems).
+  std::string pm = render_postmortems("C", c_result, 3) +
+                   render_postmortems("CDevil", d_result, 3);
+  if (!pm.empty()) os << "\n" << pm;
+  return os.str();
+}
+
+std::string render_fault_section(const std::string& device,
+                                 const FaultCampaignResult& c_result,
+                                 const FaultCampaignResult& d_result) {
+  std::ostringstream os;
+  os << "=== " << device << " (fault injection) ===\n\n"
+     << render_fault_tables(c_result, d_result) << "\n"
+     << "Scenario counters [" << device << "]: C triggered "
+     << c_result.triggered_scenarios << "/" << c_result.sampled_scenarios
+     << "; CDevil triggered " << d_result.triggered_scenarios << "/"
+     << d_result.sampled_scenarios << "\n";
+  std::string pm = render_fault_postmortems("C", c_result, 3) +
+                   render_fault_postmortems("CDevil", d_result, 3);
+  if (!pm.empty()) os << "\n" << pm;
+  return os.str();
+}
+
 }  // namespace eval

@@ -69,4 +69,20 @@ namespace eval {
     const FaultCampaignResult& c_result,
     const FaultCampaignResult& cdevil_result);
 
+/// One device's complete report section: the "=== device ===" banner, the
+/// paired campaign tables, the engine-counter line and (when any record
+/// carries a trace) the flight-recorder post-mortems. The single-process
+/// CLI run, `--merge` and the campaign-service dispatcher all print report
+/// bodies through this one function, so their outputs are byte-comparable
+/// by construction.
+[[nodiscard]] std::string render_device_section(
+    const std::string& device, const DriverCampaignResult& c_result,
+    const DriverCampaignResult& cdevil_result);
+
+/// The fault-campaign sibling of render_device_section: banner, paired
+/// fault tables, the scenario-counter line, post-mortems.
+[[nodiscard]] std::string render_fault_section(
+    const std::string& device, const FaultCampaignResult& c_result,
+    const FaultCampaignResult& cdevil_result);
+
 }  // namespace eval

@@ -83,6 +83,16 @@ struct MetricsSnapshot {
   /// why it lives here and never in the deterministic campaign counters.
   uint64_t watchdog_trips = 0;
   Histogram worker_records;  // one sample per worker per parallel phase
+  /// Campaign-service counters (src/serve): jobs accepted onto the queue,
+  /// jobs that actually fanned out to shard workers, jobs answered from the
+  /// fingerprint cache (zero mutant boots), shard worker processes spawned
+  /// (retries included) and slices re-dispatched after a worker died or
+  /// wedged. All zero outside a `--serve` daemon.
+  uint64_t service_jobs_queued = 0;
+  uint64_t service_jobs_dispatched = 0;
+  uint64_t service_cache_hits = 0;
+  uint64_t service_workers_spawned = 0;
+  uint64_t service_worker_retries = 0;
 };
 
 /// Process-wide wall-clock collector. All methods are thread-safe; when
@@ -100,6 +110,12 @@ class Metrics {
   static void add_watchdog_trip();
   /// Records how many parallel-phase indices each worker executed.
   static void add_worker_records(const std::vector<uint64_t>& shares);
+  /// Campaign-service counters (see MetricsSnapshot).
+  static void add_service_job_queued();
+  static void add_service_job_dispatched();
+  static void add_service_cache_hit();
+  static void add_service_workers_spawned(uint64_t n);
+  static void add_service_worker_retries(uint64_t n);
 
   [[nodiscard]] static MetricsSnapshot snapshot();
   static void reset();

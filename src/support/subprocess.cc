@@ -1,0 +1,120 @@
+#include "support/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "support/metrics.h"
+
+namespace support {
+
+std::string WaitResult::describe() const {
+  if (timed_out) return "timed out";
+  if (exited) return "exit code " + std::to_string(exit_code);
+  return "signal " + std::to_string(term_signal);
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::string& log_path) {
+  if (argv.empty()) throw std::runtime_error("spawn_process: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  // Open the log in the parent so a bad path is a clean throw, not a child
+  // that dies before exec with nothing to show.
+  const char* log = log_path.empty() ? "/dev/null" : log_path.c_str();
+  int log_fd = ::open(log, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    throw std::runtime_error(std::string("spawn_process: cannot open log '") +
+                             log + "': " + std::strerror(errno));
+  }
+  int null_fd = ::open("/dev/null", O_RDONLY);
+  if (null_fd < 0) {
+    ::close(log_fd);
+    throw std::runtime_error(std::string("spawn_process: cannot open "
+                                         "/dev/null: ") + std::strerror(errno));
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int err = errno;
+    ::close(log_fd);
+    ::close(null_fd);
+    throw std::runtime_error(std::string("spawn_process: fork failed: ") +
+                             std::strerror(err));
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe calls only (the parent may be multithreaded).
+    ::dup2(null_fd, STDIN_FILENO);
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    ::close(log_fd);
+    ::close(null_fd);
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; 127 mirrors the shell's convention
+  }
+  ::close(log_fd);
+  ::close(null_fd);
+  return pid;
+}
+
+WaitResult wait_process(pid_t pid, uint64_t timeout_ms) {
+  const uint64_t deadline_ns =
+      timeout_ms == 0 ? 0 : monotonic_ns() + timeout_ms * 1'000'000ULL;
+  uint64_t sleep_us = 500;  // backs off to 20ms
+  for (;;) {
+    int status = 0;
+    pid_t got = ::waitpid(pid, &status, timeout_ms == 0 ? 0 : WNOHANG);
+    if (got < 0 && errno == EINTR) continue;
+    if (got == pid) {
+      WaitResult r;
+      if (WIFEXITED(status)) {
+        r.exited = true;
+        r.exit_code = WEXITSTATUS(status);
+      } else {
+        r.term_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+      }
+      return r;
+    }
+    if (got < 0) {
+      // Already reaped (or never ours): report it as a plain failure so the
+      // dispatcher's retry path handles it like any dead worker.
+      WaitResult r;
+      r.term_signal = -1;
+      return r;
+    }
+    if (deadline_ns != 0 && monotonic_ns() >= deadline_ns) {
+      WaitResult r;
+      r.timed_out = true;
+      return r;
+    }
+    ::usleep(static_cast<useconds_t>(sleep_us));
+    if (sleep_us < 20'000) sleep_us *= 2;
+  }
+}
+
+void kill_process(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  for (;;) {
+    int status = 0;
+    pid_t got = ::waitpid(pid, &status, 0);
+    if (got == pid || (got < 0 && errno != EINTR)) return;
+  }
+}
+
+std::string self_executable_path() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace support

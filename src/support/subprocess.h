@@ -1,0 +1,52 @@
+// Minimal child-process helper for the campaign dispatcher: spawn a worker
+// with its output captured to a log file, wait with a wall-clock deadline,
+// and kill wedged workers. POSIX fork/execv only — no shell is involved, so
+// argv strings are never re-tokenized.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// How a waited-on child ended.
+struct WaitResult {
+  /// The deadline expired before the child exited; the child is still
+  /// running and the caller owns killing it.
+  bool timed_out = false;
+  /// Child exited normally (exit_code valid) vs was terminated by a signal
+  /// (term_signal valid).
+  bool exited = false;
+  int exit_code = -1;
+  int term_signal = 0;
+
+  [[nodiscard]] bool clean_exit() const { return exited && exit_code == 0; }
+  /// One-line description for diagnostics ("exit code 2", "signal 9",
+  /// "timed out").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Forks and execs `argv` (argv[0] is the binary path; PATH is not
+/// searched). stdin reads /dev/null; stdout and stderr are appended to
+/// `log_path` (or discarded to /dev/null when empty). Throws
+/// std::runtime_error naming the failing step; a failed exec in the child
+/// surfaces as exit code 127 from wait_process.
+[[nodiscard]] pid_t spawn_process(const std::vector<std::string>& argv,
+                                  const std::string& log_path);
+
+/// Reaps `pid`, polling up to `timeout_ms` of wall clock (0 = wait
+/// forever). On timeout the child is NOT killed — the caller decides.
+[[nodiscard]] WaitResult wait_process(pid_t pid, uint64_t timeout_ms);
+
+/// SIGKILLs and reaps `pid`. Safe on an already-exited (but unreaped)
+/// child.
+void kill_process(pid_t pid);
+
+/// The running executable's path (/proc/self/exe), or "" when the link
+/// cannot be read — callers fall back to argv[0].
+[[nodiscard]] std::string self_executable_path();
+
+}  // namespace support

@@ -335,14 +335,16 @@ int mouse_boot() { panic("wrong entry used"); return 1; }
   EXPECT_EQ(res.entry, "other_boot");
 }
 
-TEST(BusmouseCampaign, LegacyWrapperPassesBoundConfigsThrough) {
-  // run_ide_campaign only fills the IDE binding when none is set; a config
-  // already bound to the busmouse must run the busmouse campaign.
+TEST(BusmouseCampaign, BindingForMatchesExplicitBinding) {
+  // The name-based lookup every campaign entry point now uses (via
+  // eval::CampaignSpec) must select the exact same campaign as wiring the
+  // binding factory by hand.
   auto cfg = cdevil_mouse_config();
-  auto via_wrapper = eval::run_ide_campaign(cfg);
   auto direct = eval::run_driver_campaign(cfg);
-  expect_identical(via_wrapper, direct, "wrapper vs direct");
-  EXPECT_EQ(via_wrapper.device, "busmouse");
+  cfg.device = eval::binding_for("busmouse");
+  auto looked_up = eval::run_driver_campaign(cfg);
+  expect_identical(looked_up, direct, "binding_for vs explicit");
+  EXPECT_EQ(looked_up.device, "busmouse");
 }
 
 TEST(BusmouseCampaign, StandardBindingLookup) {

@@ -454,13 +454,14 @@ void expect_identical_campaigns(const eval::DriverCampaignResult& a,
 TEST(CampaignEngines, CDriverByteIdenticalAcrossEnginesAndThreads) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 10;
   for (unsigned threads : {1u, 4u}) {
     cfg.threads = threads;
     cfg.engine = minic::ExecEngine::kBytecodeVm;
-    auto vm = eval::run_ide_campaign(cfg);
+    auto vm = eval::run_driver_campaign(cfg);
     cfg.engine = minic::ExecEngine::kTreeWalker;
-    auto walker = eval::run_ide_campaign(cfg);
+    auto walker = eval::run_driver_campaign(cfg);
     expect_identical_campaigns(walker, vm,
                                "c threads=" + std::to_string(threads));
   }
@@ -473,14 +474,15 @@ TEST(CampaignEngines, CDevilByteIdenticalAcrossEnginesAndThreads) {
   eval::DriverCampaignConfig cfg;
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.is_cdevil = true;
   cfg.sample_percent = 10;
   for (unsigned threads : {1u, 4u}) {
     cfg.threads = threads;
     cfg.engine = minic::ExecEngine::kBytecodeVm;
-    auto vm = eval::run_ide_campaign(cfg);
+    auto vm = eval::run_driver_campaign(cfg);
     cfg.engine = minic::ExecEngine::kTreeWalker;
-    auto walker = eval::run_ide_campaign(cfg);
+    auto walker = eval::run_driver_campaign(cfg);
     expect_identical_campaigns(walker, vm,
                                "cdevil threads=" + std::to_string(threads));
   }
@@ -494,12 +496,13 @@ TEST(CampaignEngines, CDevilByteIdenticalAcrossEnginesAndThreads) {
 TEST(CampaignDedup, OutcomesAndTalliesUnchanged) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 25;
   cfg.threads = 4;
   cfg.dedup = true;
-  auto on = eval::run_ide_campaign(cfg);
+  auto on = eval::run_driver_campaign(cfg);
   cfg.dedup = false;
-  auto off = eval::run_ide_campaign(cfg);
+  auto off = eval::run_driver_campaign(cfg);
 
   EXPECT_EQ(off.deduped_mutants, 0u);
   ASSERT_EQ(on.records.size(), off.records.size());
@@ -524,11 +527,12 @@ TEST(CampaignDedup, OutcomesAndTalliesUnchanged) {
 TEST(CampaignDedup, DedupIsThreadCountInvariant) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 10;
   cfg.threads = 1;
-  auto serial = eval::run_ide_campaign(cfg);
+  auto serial = eval::run_driver_campaign(cfg);
   cfg.threads = 4;
-  auto parallel = eval::run_ide_campaign(cfg);
+  auto parallel = eval::run_driver_campaign(cfg);
   expect_identical_campaigns(serial, parallel, "dedup thread invariance");
 }
 

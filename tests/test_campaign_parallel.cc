@@ -39,11 +39,12 @@ void expect_identical(const eval::DriverCampaignResult& a,
 TEST(ParallelCampaign, CDriverIdenticalAtAnyThreadCount) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 10;  // keep the test quick; coverage spans outcomes
   cfg.threads = 1;
-  auto serial = eval::run_ide_campaign(cfg);
+  auto serial = eval::run_driver_campaign(cfg);
   cfg.threads = 4;
-  auto parallel = eval::run_ide_campaign(cfg);
+  auto parallel = eval::run_driver_campaign(cfg);
   expect_identical(serial, parallel);
 }
 
@@ -54,12 +55,13 @@ TEST(ParallelCampaign, CDevilDriverIdenticalAtAnyThreadCount) {
   eval::DriverCampaignConfig cfg;
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.is_cdevil = true;
   cfg.sample_percent = 10;
   cfg.threads = 1;
-  auto serial = eval::run_ide_campaign(cfg);
+  auto serial = eval::run_driver_campaign(cfg);
   cfg.threads = 4;
-  auto parallel = eval::run_ide_campaign(cfg);
+  auto parallel = eval::run_driver_campaign(cfg);
   expect_identical(serial, parallel);
 }
 

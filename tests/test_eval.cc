@@ -19,6 +19,7 @@ using eval::Outcome;
 eval::DriverCampaignConfig tiny(const std::string& driver) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = driver;
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 100;
   return cfg;
 }
@@ -73,17 +74,17 @@ TEST(SpecCampaign, DeterministicAcrossRuns) {
 
 TEST(DriverCampaign, RejectsNonCompilingBaseline) {
   auto cfg = tiny("int ide_boot() { return undefined_thing; }");
-  EXPECT_THROW((void)eval::run_ide_campaign(cfg), std::logic_error);
+  EXPECT_THROW((void)eval::run_driver_campaign(cfg), std::logic_error);
 }
 
 TEST(DriverCampaign, RejectsFaultingBaseline) {
   auto cfg = tiny("int ide_boot() { panic(\"boom\"); return 1; }");
-  EXPECT_THROW((void)eval::run_ide_campaign(cfg), std::logic_error);
+  EXPECT_THROW((void)eval::run_driver_campaign(cfg), std::logic_error);
 }
 
 TEST(DriverCampaign, RejectsNonPositiveFingerprint) {
   auto cfg = tiny("int ide_boot() { return 0; }");
-  EXPECT_THROW((void)eval::run_ide_campaign(cfg), std::logic_error);
+  EXPECT_THROW((void)eval::run_driver_campaign(cfg), std::logic_error);
 }
 
 // ---- classification through real mini-campaigns ------------------------------
@@ -102,7 +103,7 @@ int ide_boot() {
   return s + 1;
 }
 )");
-  auto res = eval::run_ide_campaign(cfg);
+  auto res = eval::run_driver_campaign(cfg);
   // Sites: the 0x1f7 literal, plus the `s` identifier (confusable with the
   // file's other defined identifier, the function name).
   EXPECT_EQ(res.total_sites, 2u);
@@ -125,7 +126,7 @@ int helper(int x) {
 }
 int ide_boot() { return helper(1); }
 )");
-  auto res = eval::run_ide_campaign(cfg);
+  auto res = eval::run_driver_campaign(cfg);
   EXPECT_GT(res.sampled_mutants, 0u);
   // Everything that compiles is dead (the O-typo variant is caught at
   // compile time before executability matters).
@@ -143,7 +144,7 @@ TEST(DriverCampaign, MacroSiteDeadOnlyIfUsesUnexecuted) {
 /* MUT_END */
 int ide_boot() { return MAGIC + 1; }
 )");
-  auto res = eval::run_ide_campaign(cfg);
+  auto res = eval::run_driver_campaign(cfg);
   EXPECT_GT(res.sampled_mutants, 0u);
   EXPECT_EQ(res.tally.mutants_of(Outcome::kDeadCode), 0u);
   // Changing the value changes the fingerprint: damaged boot.
@@ -153,9 +154,10 @@ int ide_boot() { return MAGIC + 1; }
 TEST(DriverCampaign, SamplingIsDeterministicAndScales) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 10;
-  auto a = eval::run_ide_campaign(cfg);
-  auto b = eval::run_ide_campaign(cfg);
+  auto a = eval::run_driver_campaign(cfg);
+  auto b = eval::run_driver_campaign(cfg);
   EXPECT_EQ(a.sampled_mutants, b.sampled_mutants);
   EXPECT_EQ(a.tally.mutants, b.tally.mutants);
   EXPECT_LT(a.sampled_mutants, a.total_mutants / 5);

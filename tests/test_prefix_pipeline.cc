@@ -236,9 +236,9 @@ void campaign_cache_on_off(eval::DriverCampaignConfig cfg,
   for (unsigned threads : {1u, 4u}) {
     cfg.threads = threads;
     cfg.prefix_cache = true;
-    auto cached = eval::run_ide_campaign(cfg);
+    auto cached = eval::run_driver_campaign(cfg);
     cfg.prefix_cache = false;
-    auto plain = eval::run_ide_campaign(cfg);
+    auto plain = eval::run_driver_campaign(cfg);
     std::string l = label + " threads=" + std::to_string(threads);
     expect_identical_records(plain, cached, l);
     // The counters prove which pipeline ran.
@@ -253,6 +253,7 @@ void campaign_cache_on_off(eval::DriverCampaignConfig cfg,
 TEST(PrefixPipeline, CCampaignByteIdenticalCacheOnOff) {
   eval::DriverCampaignConfig cfg;
   cfg.driver = corpus::c_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.sample_percent = 10;
   campaign_cache_on_off(cfg, "c");
 }
@@ -264,6 +265,7 @@ TEST(PrefixPipeline, CDevilCampaignByteIdenticalCacheOnOff) {
   eval::DriverCampaignConfig cfg;
   cfg.stubs = spec.stubs;
   cfg.driver = corpus::cdevil_ide_driver();
+  cfg.device = eval::ide_binding();
   cfg.is_cdevil = true;
   cfg.sample_percent = 10;
   campaign_cache_on_off(cfg, "cdevil");
